@@ -1,0 +1,91 @@
+"""Sec. VII Discussion experiments:
+
+1. training overhead of Degree-Aware quantization vs FP32 (paper: 2.04x
+   time on average, less than DQ's overhead);
+2. MEGA without graph partitioning vs SGCN (paper: still 3.50x speedup,
+   only ~3% below MEGA with METIS);
+3. GAT support: Degree-Aware quantization of GAT retains accuracy at a
+   high compression ratio, and softmax support costs ~1.5% area.
+"""
+
+import pytest
+from conftest import once
+
+from repro.eval import print_table, simulate
+from repro.eval.experiments import get_workload
+from repro.graphs import load_dataset
+from repro.mega import MegaModel, area_power_breakdown
+from repro.nn import TrainConfig
+from repro.quant import DegreeAwareConfig, run_degree_aware, run_degree_quant, run_fp32
+
+
+def test_disc1_training_overhead(benchmark, quick):
+    graph = load_dataset("cora", scale="tiny" if quick else "train")
+    config = TrainConfig(epochs=20 if quick else 100, patience=1000)
+
+    def run_all():
+        fp32 = run_fp32("gcn", graph, config=config)
+        ours = run_degree_aware("gcn", graph, config=config)
+        dq = run_degree_quant("gcn", graph, bits=4, config=config)
+        return fp32, ours, dq
+
+    fp32, ours, dq = once(benchmark, run_all)
+    per_epoch = lambda r: r.train_seconds / max(config.epochs, 1)
+    ours_ratio = per_epoch(ours) / per_epoch(fp32)
+    dq_ratio = per_epoch(dq) / per_epoch(fp32)
+    print_table([["fp32", 1.0], ["degree-aware", ours_ratio], ["dq", dq_ratio]],
+                ["method", "time_per_epoch_vs_fp32"],
+                title="Discussion 1 — training overhead")
+    # Quantized training costs extra but stays within a small factor
+    # (paper: 2.04x); it must not blow up by an order of magnitude.
+    assert 1.0 <= ours_ratio < 10.0
+
+
+def test_disc2_no_partition_vs_sgcn(benchmark):
+    def run():
+        sgcn = simulate("sgcn", "cora", "gcn")
+        mega_full = simulate("mega", "cora", "gcn")
+        workload = get_workload("cora", "gcn", "degree-aware")
+        mega_nopart = MegaModel(partition=False, condense=True).simulate(workload)
+        return sgcn, mega_full, mega_nopart
+
+    sgcn, mega_full, mega_nopart = once(benchmark, run)
+    speedup_full = sgcn.total_cycles / mega_full.total_cycles
+    speedup_nopart = sgcn.total_cycles / mega_nopart.total_cycles
+    print_table([["mega(metis)", speedup_full], ["mega(no partition)", speedup_nopart]],
+                ["config", "speedup_vs_sgcn"],
+                title="Discussion 2 — Condense-Edge without partitioning")
+    # Without partitioning MEGA still clearly beats SGCN, with only a
+    # small discount vs the partitioned version (paper: ~3%).
+    assert speedup_nopart > 1.0
+    assert speedup_nopart > 0.7 * speedup_full
+
+
+def test_disc3_gat_support(benchmark, quick):
+    graph = load_dataset("citeseer", scale="tiny" if quick else "train")
+    config = TrainConfig(epochs=80 if quick else 200, patience=1000)
+
+    def run():
+        fp32 = run_fp32("gat", graph, config=config)
+        ours = run_degree_aware(
+            "gat", graph,
+            quant_config=DegreeAwareConfig(target_average_bits=3.0,
+                                           bits_lr=0.25 if quick else 0.05),
+            config=config)
+        return fp32, ours
+
+    fp32, ours = once(benchmark, run)
+    print_table(
+        [["fp32", fp32.test_accuracy, 1.0],
+         ["degree-aware", ours.test_accuracy, ours.compression_ratio]],
+        ["method", "accuracy", "CR"],
+        title="Discussion 3 — GAT under Degree-Aware quantization",
+        float_format="{:.3f}")
+    assert ours.compression_ratio > 6.0  # paper: up to 16.5x
+    assert fp32.test_accuracy - ours.test_accuracy < 0.25
+
+    # Softmax-unit overhead estimate (paper: ~1.5% with A^3's design).
+    total_area = area_power_breakdown()["total"]["area_mm2"]
+    softmax_area = 0.028  # A^3-style exp/softmax unit at 28nm, mm^2
+    overhead = softmax_area / total_area
+    assert overhead < 0.02

@@ -1,0 +1,40 @@
+"""Fig. 1: execution-cycle and energy breakdown of HyGCN/GCNAX/MEGA.
+
+The paper's motivation figure: DRAM stalls account for up to 86.2% of
+HyGCN's cycles and DRAM energy dominates (90.2% on Reddit).
+"""
+
+from conftest import once
+
+from repro.eval import print_table, simulate
+
+
+def _breakdown(datasets):
+    rows = []
+    for name in ("hygcn", "gcnax", "mega"):
+        for dataset in datasets:
+            rep = simulate(name, dataset, "gcn")
+            fractions = rep.energy.fractions()
+            rows.append([name, dataset, rep.stall_fraction,
+                         fractions["dram"], rep.total_cycles / 1e3])
+    return rows
+
+
+def test_fig01_cycle_energy_breakdown(benchmark, quick):
+    datasets = ("cora", "citeseer", "pubmed") if quick else \
+        ("cora", "citeseer", "pubmed", "nell", "reddit")
+    rows = once(benchmark, _breakdown, datasets)
+    print_table(rows,
+                ["accelerator", "dataset", "dram_stall_frac",
+                 "dram_energy_frac", "kcycles"],
+                title="Fig. 1 — cycle + energy breakdown (GCN)",
+                float_format="{:.3f}")
+
+    by_accel = {}
+    for name, _, stall, dram_frac, _ in rows:
+        by_accel.setdefault(name, []).append((stall, dram_frac))
+    # MEGA overlaps DRAM almost fully; HyGCN's DRAM energy dominates.
+    mega_stall = max(s for s, _ in by_accel["mega"])
+    hygcn_dram = max(d for _, d in by_accel["hygcn"])
+    assert mega_stall < 0.5
+    assert hygcn_dram > 0.5

@@ -1,0 +1,33 @@
+"""Table IV: MEGA's configuration, area and power breakdown at 28 nm."""
+
+from conftest import once
+
+from repro.eval import print_table
+from repro.mega import MegaConfig, area_power_breakdown
+
+
+def test_tab4_area_power(benchmark):
+    table = once(benchmark, area_power_breakdown)
+    rows = [[name, vals["area_mm2"], vals["power_mw"]]
+            for name, vals in table["components"].items()]
+    rows.append(["processing_total", table["processing_total"]["area_mm2"],
+                 table["processing_total"]["power_mw"]])
+    rows.append(["buffer_total", table["buffer_total"]["area_mm2"],
+                 table["buffer_total"]["power_mw"]])
+    rows.append(["TOTAL", table["total"]["area_mm2"], table["total"]["power_mw"]])
+    print_table(rows, ["component", "area_mm2", "power_mw"],
+                title="Table IV — MEGA area/power breakdown (28nm, 1GHz)",
+                float_format="{:.3f}")
+
+    # The paper reports 1.869 mm^2 / 194.98 mW; its per-component rows
+    # sum to 1.874 mm^2 (rounding in the paper's own table).
+    assert abs(table["total"]["area_mm2"] - 1.869) < 0.01
+    assert abs(table["total"]["power_mw"] - 194.98) < 0.1
+    # Buffers account for ~89% of area and ~72% of power (paper).
+    assert table["buffer_total"]["area_mm2"] / table["total"]["area_mm2"] > 0.85
+    assert table["buffer_total"]["power_mw"] / table["total"]["power_mw"] > 0.65
+
+    config = MegaConfig()
+    assert config.total_bses == 1024
+    assert config.aggregation_units == 256
+    assert config.total_buffer_kb == 392.0

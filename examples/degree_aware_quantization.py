@@ -1,0 +1,64 @@
+"""Degree-Aware quantization walkthrough (the paper's Sec. IV).
+
+Reproduces the Table VI experiment on one dataset: trains FP32, DQ-INT4
+and Degree-Aware models, then inspects what the Degree-Aware method
+learned — per-degree bitwidths, scales, and the memory trajectory.
+
+Run:  python examples/degree_aware_quantization.py [dataset]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.eval import print_table
+from repro.graphs import load_dataset
+from repro.graphs.statistics import degree_group_histogram
+from repro.nn import TrainConfig
+from repro.quant import (
+    DegreeAwareConfig,
+    run_degree_aware,
+    run_degree_quant,
+    run_fp32,
+)
+
+
+def main(dataset: str = "cora") -> None:
+    graph = load_dataset(dataset, scale="tiny")
+    print(f"dataset: {graph.summary()}")
+    print("in-degree group fractions (power law):",
+          np.round(degree_group_histogram(graph), 3))
+
+    config = TrainConfig(epochs=120, patience=100)
+    rows = []
+
+    fp32 = run_fp32("gcn", graph, config=config)
+    rows.append(["fp32", fp32.test_accuracy, 32.0, 1.0])
+
+    dq = run_degree_quant("gcn", graph, bits=4, config=config)
+    rows.append(["dq-int4", dq.test_accuracy, 4.0, dq.compression_ratio])
+
+    ours = run_degree_aware(
+        "gcn", graph,
+        quant_config=DegreeAwareConfig(target_average_bits=2.5, bits_lr=0.25),
+        config=config)
+    rows.append(["degree-aware", ours.test_accuracy, ours.average_bits,
+                 ours.compression_ratio])
+
+    print_table(rows, ["method", "accuracy", "avg_bits", "CR"],
+                title=f"Table VI shape on {dataset}", float_format="{:.3f}")
+
+    print("\nlearned bit allocation by in-degree:")
+    degrees = graph.in_degrees
+    bits = ours.node_bitwidths
+    for lo, hi in ((0, 2), (3, 5), (6, 10), (11, 10 ** 9)):
+        mask = (degrees >= lo) & (degrees <= hi)
+        if mask.any():
+            print(f"  degree {lo:>3}-{min(hi, degrees.max()):>3}: "
+                  f"mean {bits[mask].mean():.2f} bits over {mask.sum()} nodes")
+    print(f"\nmemory: {ours.extras['memory_kb']:.1f} KB learned vs "
+          f"{ours.extras['memory_target_kb']:.1f} KB target")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "cora")

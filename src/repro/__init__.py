@@ -1,0 +1,31 @@
+"""repro — reproduction of "MEGA: A Memory-Efficient GNN Accelerator
+Exploiting Degree-Aware Mixed-Precision Quantization" (HPCA 2024).
+
+Public API tour::
+
+    from repro.graphs import load_dataset
+    from repro.quant import run_degree_aware
+    from repro.mega import MegaModel
+    from repro.baselines import build_baseline
+    from repro.sim.workload import build_workload
+    from repro import eval as experiments
+
+See README.md for the quickstart and DESIGN.md for the system map.
+"""
+
+from . import baselines, eval, formats, graphs, mega, nn, quant, sim, tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "tensor",
+    "nn",
+    "quant",
+    "formats",
+    "sim",
+    "mega",
+    "baselines",
+    "eval",
+    "__version__",
+]

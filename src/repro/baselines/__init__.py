@@ -1,0 +1,15 @@
+"""Baseline accelerator models compared against MEGA."""
+
+from .generic import (
+    BASELINE_PRESETS,
+    BaselineConfig,
+    GenericAcceleratorModel,
+    build_baseline,
+)
+
+__all__ = [
+    "BaselineConfig",
+    "GenericAcceleratorModel",
+    "BASELINE_PRESETS",
+    "build_baseline",
+]

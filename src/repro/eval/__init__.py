@@ -1,0 +1,52 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from . import accuracy, experiments, reporting
+from .accuracy import accuracy_comparison, degree_feature_magnitudes, dq_bitwidth_sweep
+from .experiments import (
+    BASELINE_NAMES,
+    PAPER_WORKLOADS,
+    QUICK_WORKLOADS,
+    ablation_fig19,
+    cr_sensitivity,
+    dram_table,
+    energy_breakdown_fig18,
+    energy_table,
+    full_comparison,
+    get_workload,
+    locality_study,
+    original_config_comparison,
+    package_length_study,
+    simulate,
+    speedup_table,
+    stall_table,
+)
+from .reporting import format_table, geomean, normalize_to, print_table
+
+__all__ = [
+    "PAPER_WORKLOADS",
+    "QUICK_WORKLOADS",
+    "BASELINE_NAMES",
+    "get_workload",
+    "simulate",
+    "full_comparison",
+    "speedup_table",
+    "dram_table",
+    "energy_table",
+    "stall_table",
+    "ablation_fig19",
+    "locality_study",
+    "package_length_study",
+    "cr_sensitivity",
+    "original_config_comparison",
+    "energy_breakdown_fig18",
+    "accuracy_comparison",
+    "dq_bitwidth_sweep",
+    "degree_feature_magnitudes",
+    "geomean",
+    "format_table",
+    "print_table",
+    "normalize_to",
+    "accuracy",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,113 @@
+"""Accuracy-experiment runners (Tables I and VI, Fig. 3).
+
+These train real (scaled) models with the numpy stack, so they are the
+slow experiments; ``quick=True`` shrinks epochs for CI-style runs while
+preserving the orderings the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import Graph, load_dataset
+from ..graphs.statistics import DEGREE_GROUPS, average_feature_by_degree
+from ..nn import TrainConfig, build_model
+from ..quant import (
+    DegreeAwareConfig,
+    run_degree_aware,
+    run_degree_quant,
+    run_fp32,
+)
+from ..tensor import Tensor, no_grad
+
+__all__ = [
+    "train_config",
+    "dq_bitwidth_sweep",
+    "accuracy_comparison",
+    "degree_feature_magnitudes",
+]
+
+
+def train_config(quick: bool = True) -> TrainConfig:
+    """Training budget: quick for tests, full for the real tables."""
+    if quick:
+        return TrainConfig(epochs=120, patience=100)
+    return TrainConfig(epochs=300, patience=200)
+
+
+def degree_aware_config(quick: bool = True,
+                        target_average_bits: float = 2.5) -> DegreeAwareConfig:
+    """Quick mode uses a faster bitwidth learning rate so the memory
+    target is reached within the reduced epoch budget."""
+    return DegreeAwareConfig(
+        target_average_bits=target_average_bits,
+        bits_lr=0.25 if quick else 0.05,
+    )
+
+
+def dq_bitwidth_sweep(dataset: str = "citeseer", model: str = "gin",
+                      bitwidths: Sequence[int] = (8, 7, 6, 5, 4),
+                      quick: bool = True, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Table I: DQ accuracy/CR on CiteSeer GIN across bitwidths."""
+    graph = load_dataset(dataset, seed=seed)
+    config = train_config(quick)
+    out: Dict[str, Dict[str, float]] = {}
+    fp32 = run_fp32(model, graph, config=config, seed=seed)
+    out["fp32"] = {"accuracy": fp32.test_accuracy, "cr": 1.0}
+    for bits in bitwidths:
+        run = run_degree_quant(model, graph, bits=bits, config=config, seed=seed)
+        out[f"{bits}bit"] = {"accuracy": run.test_accuracy,
+                             "cr": run.compression_ratio}
+    return out
+
+
+def accuracy_comparison(cases: Sequence[Tuple[str, str]] = (("cora", "gcn"),),
+                        quick: bool = True, seed: int = 0,
+                        target_average_bits: float = 2.5,
+                        ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table VI: FP32 vs DQ-INT4 vs Degree-Aware per (dataset, model)."""
+    config = train_config(quick)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset, model in cases:
+        graph = load_dataset(dataset, seed=seed)
+        row: Dict[str, Dict[str, float]] = {}
+        fp32 = run_fp32(model, graph, config=config, seed=seed)
+        row["fp32"] = {"accuracy": fp32.test_accuracy, "avg_bits": 32.0, "cr": 1.0}
+        dq = run_degree_quant(model, graph, bits=4, config=config, seed=seed)
+        row["dq-int4"] = {"accuracy": dq.test_accuracy, "avg_bits": 4.0,
+                          "cr": dq.compression_ratio}
+        ours = run_degree_aware(
+            model, graph,
+            quant_config=degree_aware_config(quick, target_average_bits),
+            config=config, seed=seed)
+        row["degree-aware"] = {"accuracy": ours.test_accuracy,
+                               "avg_bits": ours.average_bits,
+                               "cr": ours.compression_ratio}
+        out[f"{dataset}-{model}"] = row
+    return out
+
+
+def degree_feature_magnitudes(dataset: str = "cora", models=("gcn", "gin"),
+                              quick: bool = True, seed: int = 0,
+                              ) -> Dict[str, List[float]]:
+    """Fig. 3: mean aggregated-feature magnitude per in-degree group.
+
+    Trains each model briefly, then measures |features| after the first
+    aggregation, bucketed by the paper's in-degree groups.
+    """
+    from ..nn import train
+
+    graph = load_dataset(dataset, seed=seed)
+    config = TrainConfig(epochs=30 if quick else 120, patience=1000)
+    out: Dict[str, List[float]] = {}
+    for model_name in models:
+        model = build_model(model_name, graph.feature_dim, graph.num_classes,
+                            seed=seed)
+        train(model, graph, config=config)
+        model.eval()
+        with no_grad():
+            hidden = model.hidden_features(Tensor(graph.features), graph)
+        out[model_name] = average_feature_by_degree(graph, hidden.data).tolist()
+    return out

@@ -1,0 +1,56 @@
+"""Table formatting + summary statistics for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "format_table", "print_table", "normalize_to"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        return float("nan")
+    return float(np.exp(np.log(np.maximum(arr, 1e-12)).mean()))
+
+
+def normalize_to(rows: Dict[str, Dict[str, float]], reference: str) -> Dict[str, Dict[str, float]]:
+    """Normalize each row's values to the reference column (paper style)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for row_key, row in rows.items():
+        ref = row[reference]
+        out[row_key] = {col: ref / value if value else float("inf")
+                        for col, value in row.items()}
+    return out
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str],
+                 float_format: str = "{:.2f}") -> str:
+    """Render an aligned text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Sequence], headers: Sequence[str],
+                title: Optional[str] = None,
+                float_format: str = "{:.2f}") -> None:
+    if title:
+        print(f"\n== {title} ==")
+    print(format_table(rows, headers, float_format=float_format))

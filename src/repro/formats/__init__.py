@@ -1,0 +1,36 @@
+"""Sparse feature-storage formats compared in the paper (Fig. 4, 9, 21)."""
+
+from .adaptive_package import (
+    HEADER_BITS,
+    AdaptivePackageEncoded,
+    AdaptivePackageFormat,
+    Package,
+    PackageConfig,
+)
+from .base import FormatReport, SparseFormat, bits_needed, ideal_bits
+from .classic import BitmapFormat, CooFormat, CsrFormat, DenseFormat
+
+FORMATS = {
+    "dense": DenseFormat,
+    "coo": CooFormat,
+    "csr": CsrFormat,
+    "bitmap": BitmapFormat,
+    "adaptive-package": AdaptivePackageFormat,
+}
+
+__all__ = [
+    "SparseFormat",
+    "FormatReport",
+    "bits_needed",
+    "ideal_bits",
+    "DenseFormat",
+    "CooFormat",
+    "CsrFormat",
+    "BitmapFormat",
+    "AdaptivePackageFormat",
+    "AdaptivePackageEncoded",
+    "Package",
+    "PackageConfig",
+    "HEADER_BITS",
+    "FORMATS",
+]

@@ -1,0 +1,225 @@
+"""The Adaptive-Package storage format (Sec. V-B, Fig. 9).
+
+A *package* is the primitive storage unit:
+
+- ``Mode`` (2 bits) selects the package length — short / medium / long,
+  empirically (64, 128, 192) total bits (Fig. 21 explores this choice);
+- ``Bitwidth`` (3 bits) gives the quantization bitwidth (1..8) shared by
+  every value in the package;
+- ``Val Array`` holds only non-zero values, packed back to back.
+
+Non-zero locations live in a separate per-node index.  Each node uses
+either a positional bitmap (``F`` bits) or a coordinate list
+(``nnz * ceil(log2 F)`` bits), whichever is smaller, selected by a
+one-bit flag — the bitmap wins at moderate sparsity (Cora-like), the
+list wins at extreme sparsity (NELL's 61278-d one-hot features, where
+a full bitmap would dwarf the values it indexes).  The encoder is the
+greedy heuristic of Sec. V-D: the package register keeps accumulating
+non-zeros of successive nodes until the maximum package length is
+reached or the node bitwidth changes, then the smallest mode that fits
+is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import FormatReport, SparseFormat, bits_needed
+
+__all__ = ["PackageConfig", "Package", "AdaptivePackageEncoded",
+           "AdaptivePackageFormat", "node_index_bits"]
+
+
+def node_index_bits(nnz_per_node: np.ndarray, feature_dim: int) -> np.ndarray:
+    """Per-node non-zero index cost: min(bitmap, coordinate list) + flag."""
+    nnz = np.asarray(nnz_per_node, dtype=np.int64)
+    coord = nnz * bits_needed(feature_dim)
+    return np.minimum(coord, feature_dim) + 1
+
+HEADER_BITS = 5  # Mode (2) + Bitwidth (3)
+
+
+@dataclass(frozen=True)
+class PackageConfig:
+    """Package length levels in total bits (header included)."""
+
+    short: int = 64
+    medium: int = 128
+    long: int = 192
+
+    @property
+    def lengths(self) -> Tuple[int, int, int]:
+        return (self.short, self.medium, self.long)
+
+    def payload_bits(self, mode: int) -> int:
+        return self.lengths[mode] - HEADER_BITS
+
+    def capacity(self, mode: int, bitwidth: int) -> int:
+        """Number of ``bitwidth``-bit values a package of ``mode`` holds."""
+        return self.payload_bits(mode) // bitwidth
+
+    def smallest_mode_for(self, num_values: int, bitwidth: int) -> int:
+        """Smallest mode whose capacity fits ``num_values``."""
+        for mode in range(3):
+            if self.capacity(mode, bitwidth) >= num_values:
+                return mode
+        return 2
+
+
+@dataclass
+class Package:
+    """One encoded package: header + packed non-zero values."""
+
+    mode: int
+    bitwidth: int
+    values: np.ndarray
+
+    def total_bits(self, config: PackageConfig) -> int:
+        return config.lengths[self.mode]
+
+    def used_bits(self) -> int:
+        return HEADER_BITS + len(self.values) * self.bitwidth
+
+    def padding_bits(self, config: PackageConfig) -> int:
+        return self.total_bits(config) - self.used_bits()
+
+
+@dataclass
+class AdaptivePackageEncoded:
+    """Full encoded feature map: package stream + bitmap index."""
+
+    packages: List[Package]
+    bitmap: np.ndarray              # (N, F) bool non-zero locations
+    bits_per_node: np.ndarray
+    config: PackageConfig
+    signs: Optional[np.ndarray] = None  # sign bitmap over non-zeros, if any negative
+
+    def report(self) -> FormatReport:
+        package_bits = sum(p.total_bits(self.config) for p in self.packages)
+        padding = sum(p.padding_bits(self.config) for p in self.packages)
+        headers = HEADER_BITS * len(self.packages)
+        n, f = self.bitmap.shape
+        index_bits = int(node_index_bits(self.bitmap.sum(axis=1), f).sum())
+        return FormatReport(
+            "adaptive-package",
+            package_bits + index_bits,
+            {
+                "packages": package_bits,
+                "bitmap": index_bits,
+                "padding": padding,
+                "headers": headers,
+            },
+        )
+
+    @property
+    def num_packages(self) -> int:
+        return len(self.packages)
+
+
+class AdaptivePackageFormat(SparseFormat):
+    """Encoder/decoder for the Adaptive-Package format."""
+
+    name = "adaptive-package"
+
+    def __init__(self, config: Optional[PackageConfig] = None) -> None:
+        self.config = config or PackageConfig()
+
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray, bits_per_node: np.ndarray) -> AdaptivePackageEncoded:
+        self._validate(values, bits_per_node)
+        values = np.asarray(values, dtype=np.int64)
+        bits = np.asarray(bits_per_node, dtype=np.int64)
+        bitmap = values != 0
+
+        packages: List[Package] = []
+        register: List[int] = []
+        current_bits = None
+        cfg = self.config
+
+        def flush() -> None:
+            if not register:
+                return
+            mode = cfg.smallest_mode_for(len(register), current_bits)
+            packages.append(Package(mode, int(current_bits),
+                                    np.asarray(register, dtype=np.int64)))
+            register.clear()
+
+        for node in range(values.shape[0]):
+            b = int(bits[node])
+            if current_bits is not None and b != current_bits:
+                flush()
+            current_bits = b
+            nonzeros = values[node][bitmap[node]]
+            long_cap = cfg.capacity(2, b)
+            for value in nonzeros:
+                register.append(int(value))
+                if len(register) >= long_cap:
+                    packages.append(Package(2, b, np.asarray(register, dtype=np.int64)))
+                    register.clear()
+        flush()
+
+        negatives = values < 0
+        signs = negatives[bitmap] if negatives.any() else None
+        return AdaptivePackageEncoded(packages, bitmap, bits.copy(), cfg, signs=signs)
+
+    def decode(self, encoded: AdaptivePackageEncoded) -> np.ndarray:
+        if encoded.packages:
+            stream = np.concatenate([p.values for p in encoded.packages])
+        else:
+            stream = np.zeros(0, dtype=np.int64)
+        out = np.zeros(encoded.bitmap.shape, dtype=np.int64)
+        out[encoded.bitmap] = stream
+        return out
+
+    # ------------------------------------------------------------------
+    def measure(self, nnz_per_node: np.ndarray, bits_per_node: np.ndarray,
+                feature_dim: int) -> FormatReport:
+        """Exact footprint from statistics, mirroring the greedy encoder."""
+        nnz = np.asarray(nnz_per_node, dtype=np.int64)
+        bits = np.asarray(bits_per_node, dtype=np.int64)
+        cfg = self.config
+
+        package_bits = 0
+        padding = 0
+        num_packages = 0
+        # Runs of consecutive nodes sharing a bitwidth map to one
+        # register run, exactly as the encoder behaves.
+        boundaries = np.nonzero(np.diff(bits))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [len(bits)]])
+        for start, stop in zip(starts, stops):
+            b = int(bits[start])
+            total_values = int(nnz[start:stop].sum())
+            if total_values == 0:
+                continue
+            long_cap = cfg.capacity(2, b)
+            full_longs, remainder = divmod(total_values, long_cap)
+            num_packages += full_longs
+            package_bits += full_longs * cfg.lengths[2]
+            padding += full_longs * (cfg.payload_bits(2) - long_cap * b)
+            if remainder:
+                mode = cfg.smallest_mode_for(remainder, b)
+                num_packages += 1
+                package_bits += cfg.lengths[mode]
+                padding += cfg.payload_bits(mode) - remainder * b
+        index_bits = int(node_index_bits(nnz, feature_dim).sum())
+        return FormatReport(
+            self.name,
+            package_bits + index_bits,
+            {
+                "packages": package_bits,
+                "bitmap": index_bits,
+                "padding": padding,
+                "headers": HEADER_BITS * num_packages,
+                "num_packages": num_packages,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def package_count(self, nnz_per_node: np.ndarray, bits_per_node: np.ndarray) -> int:
+        """Number of packages (decoder work units for the performance model)."""
+        report = self.measure(nnz_per_node, bits_per_node, feature_dim=1)
+        return int(report.breakdown["num_packages"])

@@ -1,0 +1,27 @@
+"""Graph substrate: containers, synthetic datasets, partitioning, statistics."""
+
+from . import datasets, generators, partition, statistics
+from .datasets import DATASETS, load_dataset, paper_stats, sim_feature_stats
+from .generators import community_graph, power_law_degrees, sparse_features, synthetic_graph
+from .graph import Graph
+from .partition import PartitionResult, edge_cut, partition_graph, sparse_connection_edges
+
+__all__ = [
+    "Graph",
+    "DATASETS",
+    "load_dataset",
+    "paper_stats",
+    "sim_feature_stats",
+    "synthetic_graph",
+    "community_graph",
+    "power_law_degrees",
+    "sparse_features",
+    "partition_graph",
+    "PartitionResult",
+    "edge_cut",
+    "sparse_connection_edges",
+    "datasets",
+    "generators",
+    "partition",
+    "statistics",
+]

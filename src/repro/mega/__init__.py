@@ -1,0 +1,35 @@
+"""The MEGA accelerator: config, functional datapath, Condense-Edge,
+and the cycle-approximate performance model."""
+
+from .condense import (
+    CondenseUnit,
+    choose_num_parts,
+    condense_layout,
+    count_cross_accesses,
+    sparse_connection_sources,
+)
+from .config import AREA_POWER_TABLE, MegaConfig, area_power_breakdown, mega_buffers
+from .functional import (
+    bit_serial_matmul,
+    cpe_group_trace,
+    decode_and_combine,
+    quantized_layer_forward,
+)
+from .performance import MegaModel
+
+__all__ = [
+    "MegaConfig",
+    "MegaModel",
+    "mega_buffers",
+    "area_power_breakdown",
+    "AREA_POWER_TABLE",
+    "CondenseUnit",
+    "condense_layout",
+    "sparse_connection_sources",
+    "count_cross_accesses",
+    "choose_num_parts",
+    "bit_serial_matmul",
+    "cpe_group_trace",
+    "quantized_layer_forward",
+    "decode_and_combine",
+]

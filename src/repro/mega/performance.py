@@ -1,0 +1,160 @@
+"""Cycle-approximate performance model of the MEGA accelerator.
+
+Maps a :class:`~repro.sim.workload.Workload` to cycles / DRAM traffic /
+energy using the microarchitecture of Sec. V:
+
+- **Combination Engine**: per node, ``ceil(nnz / (tiles * BSEs))``
+  groups stream bit-serially for ``b`` cycles each, repeated for every
+  group of ``m`` output columns; the Decoder sustains one package per
+  tile per cycle.
+- **Aggregation Engine**: outer-product over edges, 256 AUs wide, with
+  free units packing multiple nodes (Sec. V-D).
+- **DRAM**: input features in Adaptive-Package format (or Bitmap for
+  the ablation), weights at 4 bits, and the aggregation locality model
+  with the Condense-Edge strategy.
+
+Ablation switches (`storage`, `condense`, `partition`) reproduce the
+configurations of Fig. 19.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..formats import AdaptivePackageFormat, BitmapFormat
+from ..graphs.partition import partition_graph
+from ..sim import DramModel, DramTraffic
+from ..sim.accelerator import AcceleratorModel, LayerCost
+from ..sim.locality import aggregation_locality_traffic
+from ..sim.workload import LayerSpec, Workload
+from .condense import choose_num_parts
+from .config import MegaConfig, mega_buffers
+
+__all__ = ["MegaModel"]
+
+_PARTITION_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _cached_partition(adjacency, num_parts: int, workload_key: int) -> np.ndarray:
+    key = (workload_key, num_parts)
+    if key not in _PARTITION_CACHE:
+        result = partition_graph(adjacency, num_parts, seed=0, refine_passes=1)
+        _PARTITION_CACHE[key] = result.parts
+    return _PARTITION_CACHE[key]
+
+
+class MegaModel(AcceleratorModel):
+    """MEGA with its three techniques individually switchable."""
+
+    name = "mega"
+    dram_overlap = 0.9
+    total_power_mw = 194.98
+
+    def __init__(self, config: Optional[MegaConfig] = None,
+                 storage: str = "adaptive-package",
+                 condense: bool = True,
+                 partition: bool = True,
+                 dram: Optional[DramModel] = None) -> None:
+        self.config = config or MegaConfig()
+        super().__init__(mega_buffers(self.config), dram=dram)
+        if storage not in ("adaptive-package", "bitmap"):
+            raise ValueError(f"unknown storage {storage!r}")
+        self.storage = storage
+        self.condense = condense
+        self.partition = partition
+
+    # ------------------------------------------------------------------
+    def layer_cost(self, workload: Workload, layer_index: int) -> LayerCost:
+        layer = workload.layers[layer_index]
+        cfg = self.config
+        adjacency = workload.adjacency
+        n, edges = workload.num_nodes, workload.num_edges
+        f_out = layer.out_dim
+        bits = np.minimum(layer.input_bits, 8)  # MEGA stores <= 8-bit codes
+
+        # ---- Combination Engine cycles --------------------------------
+        lane_groups = np.ceil(layer.input_nnz /
+                              (cfg.combination_tiles * cfg.bses_per_cpe))
+        column_passes = math.ceil(f_out / cfg.cpes_per_tile)
+        bit_serial_cycles = float((lane_groups * bits).sum()) * column_passes
+
+        fmt = self._format()
+        if self.storage == "adaptive-package":
+            report = fmt.measure(layer.input_nnz, bits, layer.in_dim)
+            num_packages = report.breakdown["num_packages"]
+        else:
+            report = fmt.measure(layer.input_nnz, bits, layer.in_dim)
+            # Bitmap streams fixed-width values: decoder work scales with
+            # the max bitwidth, not each node's own (Fig. 19 ablation).
+            max_bits = int(bits.max()) if len(bits) else 0
+            bit_serial_cycles = float((lane_groups * max_bits).sum()) * column_passes
+            num_packages = math.ceil(report.total_bits /
+                                     (cfg.package.long - 0))
+        decode_cycles = num_packages / cfg.combination_tiles
+        combination_cycles = max(bit_serial_cycles, decode_cycles)
+
+        # ---- Aggregation Engine cycles ---------------------------------
+        aggregation_cycles = edges * f_out / cfg.aggregation_units
+        encode_cycles = n * f_out / cfg.qn_units
+        aggregation_cycles = max(aggregation_cycles, encode_cycles)
+
+        # ---- DRAM traffic ----------------------------------------------
+        input_bytes = report.total_bits / 8.0
+        traffic = self.dram.sequential_access(input_bytes, purpose="features_in")
+        traffic = traffic + self.dram.sequential_access(
+            self.weight_traffic_bytes(layer, cfg.weight_bits), purpose="weights")
+
+        # Combined features B are ~dense 4-bit vectors (Sec. V-A).
+        combined_bytes = f_out * cfg.weight_bits / 8.0
+        agg_buffer = self.buffers["aggregation"].capacity_bytes
+        num_parts = choose_num_parts(n, f_out, agg_buffer, cfg.psum_bits)
+        parts = None
+        if self.partition and num_parts > 1:
+            parts = _cached_partition(adjacency, num_parts, id(workload))
+        strategy = "condense" if self.condense else ("metis" if parts is not None else "naive")
+        buffer_nodes = max(int(agg_buffer / (f_out * cfg.psum_bits / 8.0)), 1)
+        agg_traffic = aggregation_locality_traffic(
+            adjacency, combined_bytes, self.dram, strategy=strategy,
+            parts=parts, buffer_nodes=buffer_nodes,
+            combination_buffer_bytes=self.buffers["combination"].capacity_bytes,
+        )
+        traffic = traffic + agg_traffic.total
+
+        # Aggregated output written back in packaged form (next layer's
+        # input feature map, 8-bit codes at the learned bitwidths).
+        out_nnz = np.full(n, min(max(int(f_out * 0.5), 1), f_out), dtype=np.int64)
+        out_report = self._format().measure(out_nnz, bits, f_out)
+        traffic = traffic + self.dram.sequential_access(
+            out_report.total_bits / 8.0, purpose="features_out")
+
+        # ---- Energy -----------------------------------------------------
+        bitops = float((layer.input_nnz * bits).sum()) * cfg.weight_bits * f_out
+        pu_pj = bitops * self.energy.bitop_pj
+        pu_pj += edges * f_out * self.energy.int_mac_pj(8, cfg.psum_bits)
+        sram_bytes = (input_bytes + n * combined_bytes * 2.0
+                      + edges * f_out * cfg.psum_bits / 8.0 * 2.0)
+
+        return LayerCost(
+            combination_cycles=combination_cycles,
+            aggregation_cycles=aggregation_cycles,
+            traffic=traffic,
+            pu_energy_pj=pu_pj,
+            sram_bytes_moved=sram_bytes,
+            details={
+                "num_parts": num_parts,
+                "num_packages": float(num_packages),
+                "input_mb": input_bytes / 2 ** 20,
+                "agg_cross_mb": agg_traffic.cross.total_mb,
+                "agg_internal_mb": agg_traffic.internal.total_mb,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _format(self):
+        if self.storage == "adaptive-package":
+            return AdaptivePackageFormat(self.config.package)
+        return BitmapFormat()

@@ -1,0 +1,28 @@
+"""GNN models, layers and the training loop."""
+
+from .layers import GATConv, GINConv, GraphConv, Linear, MLP, QuantHooks, SageConv
+from .models import GAT, GCN, GIN, GraphSage, MODEL_SPECS, build_model
+from .module import Module
+from .training import TrainConfig, TrainResult, evaluate, train, train_multiple_seeds
+
+__all__ = [
+    "Module",
+    "QuantHooks",
+    "Linear",
+    "MLP",
+    "GraphConv",
+    "GINConv",
+    "SageConv",
+    "GATConv",
+    "GCN",
+    "GIN",
+    "GraphSage",
+    "GAT",
+    "MODEL_SPECS",
+    "build_model",
+    "TrainConfig",
+    "TrainResult",
+    "train",
+    "evaluate",
+    "train_multiple_seeds",
+]

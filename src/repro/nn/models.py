@@ -1,0 +1,160 @@
+"""The three evaluated GNN models (Table III) plus GAT (Discussion).
+
+All models are two layers with the paper's hidden sizes (GCN/GIN: 128,
+GraphSAGE: 256 with 25-neighbor sampling, GAT: 128) and expose the same
+``forward(features, graph) -> logits`` interface.  A shared
+:class:`~repro.nn.layers.QuantHooks` object threads quantization through
+every layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from ..tensor import Tensor, functional as F
+from .layers import GATConv, GINConv, GraphConv, QuantHooks, SageConv
+from .module import Module
+
+__all__ = ["GCN", "GIN", "GraphSage", "GAT", "build_model", "MODEL_SPECS"]
+
+# Table III: model -> (hidden units, aggregation kind, neighbor samples)
+MODEL_SPECS = {
+    "gcn": {"hidden": 128, "aggregation": "gcn", "sample": None},
+    "gin": {"hidden": 128, "aggregation": "add", "sample": None},
+    "graphsage": {"hidden": 256, "aggregation": "mean", "sample": 25},
+    "gat": {"hidden": 128, "aggregation": "raw", "sample": None},
+}
+
+
+class _TwoLayerGNN(Module):
+    """Shared scaffolding: dropout -> layer1 -> ReLU -> dropout -> layer2."""
+
+    aggregation = "gcn"
+
+    def __init__(self, dropout: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        self.dropout = dropout
+        self._rng = np.random.default_rng(seed)
+
+    def train(self):
+        super().train()
+        if hasattr(self, "hooks"):
+            self.hooks.training = True
+        return self
+
+    def eval(self):
+        super().eval()
+        if hasattr(self, "hooks"):
+            self.hooks.training = False
+        return self
+
+    def _adjacency(self, graph: Graph):
+        return graph.normalized_adjacency(self.aggregation)
+
+    def forward(self, features: Tensor, graph: Graph) -> Tensor:
+        adjacency = self._adjacency(graph)
+        x = F.dropout(features, self.dropout, self.training, rng=self._rng)
+        x = self.layer1(x, adjacency).relu()
+        x = F.dropout(x, self.dropout, self.training, rng=self._rng)
+        return self.layer2(x, adjacency)
+
+    def hidden_features(self, features: Tensor, graph: Graph) -> Tensor:
+        """Post-ReLU hidden feature map (input to layer 2) — used by the
+        density (Fig. 5) and degree-magnitude (Fig. 3) analyses."""
+        adjacency = self._adjacency(graph)
+        return self.layer1(features, adjacency).relu()
+
+
+class GCN(_TwoLayerGNN):
+    """Two-layer GCN (Kipf & Welling), hidden width 128."""
+
+    aggregation = "gcn"
+
+    def __init__(self, in_dim: int, num_classes: int, hidden_dim: int = 128,
+                 hooks: Optional[QuantHooks] = None, dropout: float = 0.5,
+                 seed: int = 0) -> None:
+        super().__init__(dropout=dropout, seed=seed)
+        rng = np.random.default_rng(seed)
+        hooks = hooks or QuantHooks()
+        self.hooks = hooks
+        self.layer1 = GraphConv(in_dim, hidden_dim, 0, hooks=hooks, rng=rng)
+        self.layer2 = GraphConv(hidden_dim, num_classes, 1, hooks=hooks, rng=rng)
+
+
+class GIN(_TwoLayerGNN):
+    """Two-layer GIN (Xu et al.), add aggregation, MLP combination."""
+
+    aggregation = "add"
+
+    def __init__(self, in_dim: int, num_classes: int, hidden_dim: int = 128,
+                 hooks: Optional[QuantHooks] = None, dropout: float = 0.5,
+                 seed: int = 0) -> None:
+        super().__init__(dropout=dropout, seed=seed)
+        rng = np.random.default_rng(seed)
+        hooks = hooks or QuantHooks()
+        self.hooks = hooks
+        self.layer1 = GINConv(in_dim, hidden_dim, hidden_dim, 0, hooks=hooks, rng=rng)
+        self.layer2 = GINConv(hidden_dim, hidden_dim, num_classes, 1, hooks=hooks, rng=rng)
+
+
+class GraphSage(_TwoLayerGNN):
+    """Two-layer GraphSAGE, mean aggregation over 25 sampled neighbors."""
+
+    aggregation = "mean"
+
+    def __init__(self, in_dim: int, num_classes: int, hidden_dim: int = 256,
+                 hooks: Optional[QuantHooks] = None, dropout: float = 0.5,
+                 sample_neighbors: Optional[int] = 25, seed: int = 0) -> None:
+        super().__init__(dropout=dropout, seed=seed)
+        rng = np.random.default_rng(seed)
+        hooks = hooks or QuantHooks()
+        self.hooks = hooks
+        self.sample_neighbors = sample_neighbors
+        self.layer1 = SageConv(in_dim, hidden_dim, 0, hooks=hooks, rng=rng)
+        self.layer2 = SageConv(hidden_dim, num_classes, 1, hooks=hooks, rng=rng)
+        self._sampled_cache = {}
+
+    def _adjacency(self, graph: Graph):
+        if self.sample_neighbors is None:
+            return graph.normalized_adjacency("mean")
+        key = id(graph)
+        if key not in self._sampled_cache:
+            sampled = graph.sample_neighbors(self.sample_neighbors,
+                                             rng=np.random.default_rng(0))
+            self._sampled_cache[key] = sampled.normalized_adjacency("mean")
+        return self._sampled_cache[key]
+
+
+class GAT(_TwoLayerGNN):
+    """Two-layer single-head GAT for the Discussion experiment."""
+
+    aggregation = "raw"
+
+    def __init__(self, in_dim: int, num_classes: int, hidden_dim: int = 128,
+                 hooks: Optional[QuantHooks] = None, dropout: float = 0.5,
+                 seed: int = 0) -> None:
+        super().__init__(dropout=dropout, seed=seed)
+        rng = np.random.default_rng(seed)
+        hooks = hooks or QuantHooks()
+        self.hooks = hooks
+        self.layer1 = GATConv(in_dim, hidden_dim, 0, hooks=hooks, rng=rng)
+        self.layer2 = GATConv(hidden_dim, num_classes, 1, hooks=hooks, rng=rng)
+
+
+def build_model(name: str, in_dim: int, num_classes: int,
+                hooks: Optional[QuantHooks] = None, seed: int = 0,
+                **overrides) -> _TwoLayerGNN:
+    """Factory keyed by the paper's model names (case-insensitive)."""
+    key = name.lower()
+    classes = {"gcn": GCN, "gin": GIN, "graphsage": GraphSage, "gat": GAT}
+    if key not in classes:
+        raise ValueError(f"unknown model {name!r}; expected one of {sorted(classes)}")
+    spec = dict(MODEL_SPECS[key])
+    kwargs = {"hidden_dim": overrides.pop("hidden_dim", spec["hidden"])}
+    if key == "graphsage":
+        kwargs["sample_neighbors"] = overrides.pop("sample_neighbors", spec["sample"])
+    kwargs.update(overrides)
+    return classes[key](in_dim, num_classes, hooks=hooks, seed=seed, **kwargs)

@@ -1,0 +1,96 @@
+"""Minimal module system: parameter registration and train/eval modes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..tensor import Tensor
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for layers/models.
+
+    Parameters (``Tensor`` attributes with ``requires_grad``) and
+    sub-modules assigned as attributes are discovered automatically,
+    mirroring the ``torch.nn.Module`` contract the paper's code relies
+    on.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter / submodule discovery --------------------------------
+    def parameters(self) -> List[Tensor]:
+        seen: Dict[int, Tensor] = {}
+        for tensor in self._walk():
+            seen.setdefault(id(tensor), tensor)
+        return list(seen.values())
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{full}.{i}", item
+
+    def _walk(self) -> Iterator[Tensor]:
+        for _, tensor in self.named_parameters():
+            yield tensor
+
+    # -- train / eval mode ----------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- state dict (for checkpoints in examples) -------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        import numpy as np
+
+        for name, value in state.items():
+            if name in params:
+                params[name].data = np.asarray(value, dtype=params[name].data.dtype).reshape(
+                    params[name].data.shape
+                )

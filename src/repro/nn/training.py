@@ -1,0 +1,164 @@
+"""Full-batch semi-supervised training loop with early stopping.
+
+Reproduces the paper's training protocol: Adam, cross-entropy on the
+train mask, model selection on validation accuracy, results reported as
+mean +/- std over multiple seeds (Tables I and VI).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from ..tensor import Tensor, functional as F, no_grad
+from ..tensor.optim import Adam, clip_grad_norm
+from .module import Module
+
+__all__ = ["TrainConfig", "TrainResult", "train", "evaluate", "train_multiple_seeds"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 200
+    lr: float = 0.01
+    quant_lr: float = 0.02          # learning rate for quantization parameters
+    weight_decay: float = 5e-4
+    patience: int = 50
+    grad_clip: float = 5.0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one run: best model accuracy and the loss curve."""
+
+    best_val_accuracy: float
+    test_accuracy: float
+    train_seconds: float
+    epochs_run: int
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+
+def evaluate(model: Module, graph: Graph, mask: np.ndarray) -> float:
+    """Accuracy of ``model`` on the nodes selected by ``mask``."""
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(graph.features), graph)
+    return F.accuracy(logits, graph.labels, mask)
+
+
+def train(
+    model: Module,
+    graph: Graph,
+    config: Optional[TrainConfig] = None,
+    extra_loss: Optional[Callable[[], Optional[Tensor]]] = None,
+    extra_params: Optional[List[Tensor]] = None,
+    extra_optimizers: Optional[List] = None,
+    select_when: Optional[Callable[[], bool]] = None,
+) -> TrainResult:
+    """Train ``model`` on ``graph`` and restore the best-validation weights.
+
+    ``extra_loss`` supplies a regularizer evaluated per step — the
+    Degree-Aware flow passes ``lambda: hooks.extra_loss()`` so the
+    memory penalty (Eq. 4/5) joins the task loss.  ``select_when``
+    gates checkpoint selection: epochs where it returns False are not
+    eligible as the "best" model (the Degree-Aware flow uses it to
+    require the memory budget to be met before accuracy is credited).
+    """
+    config = config or TrainConfig()
+    optimizer = Adam(model.parameters(), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    extra_params = [p for p in (extra_params or []) if p.requires_grad]
+    # Quantization parameters (scales/bitwidths) train without weight
+    # decay and with their own learning rate for stability.  A flow may
+    # instead hand over pre-built optimizers (e.g. Degree-Aware's
+    # Adam-for-scales + SGD-for-bits split).
+    if extra_optimizers is not None:
+        quant_optimizers = list(extra_optimizers)
+    elif extra_params:
+        quant_optimizers = [Adam(extra_params, lr=config.quant_lr, weight_decay=0.0)]
+    else:
+        quant_optimizers = []
+    features = Tensor(graph.features)
+    best_val, best_state, best_test = -1.0, None, 0.0
+    best_extra: List[np.ndarray] = []
+    since_best = 0
+    history: List[Dict[str, float]] = []
+    start = time.perf_counter()
+
+    epoch = 0
+    for epoch in range(1, config.epochs + 1):
+        model.train()
+        optimizer.zero_grad()
+        for qopt in quant_optimizers:
+            qopt.zero_grad()
+        logits = model(features, graph)
+        loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
+        if extra_loss is not None:
+            penalty = extra_loss()
+            if penalty is not None:
+                loss = loss + penalty
+        loss.backward()
+        if config.grad_clip:
+            clip_grad_norm(model.parameters(), config.grad_clip)
+        optimizer.step()
+        for qopt in quant_optimizers:
+            qopt.step()
+
+        val_acc = evaluate(model, graph, graph.val_mask)
+        history.append({"epoch": epoch, "loss": float(loss.data), "val_acc": val_acc})
+        if config.verbose and epoch % 20 == 0:
+            print(f"epoch {epoch:4d} loss {float(loss.data):.4f} val {val_acc:.4f}")
+
+        eligible = select_when is None or select_when()
+        if eligible and val_acc > best_val:
+            best_val = val_acc
+            best_state = model.state_dict()
+            best_extra = [p.data.copy() for p in (extra_params or [])]
+            best_test = evaluate(model, graph, graph.test_mask)
+            since_best = 0
+        else:
+            since_best += 1
+            if since_best >= config.patience and (select_when is None or best_state is not None):
+                break
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+        for p, data in zip(extra_params or [], best_extra):
+            p.data = data
+    return TrainResult(
+        best_val_accuracy=best_val,
+        test_accuracy=best_test,
+        train_seconds=time.perf_counter() - start,
+        epochs_run=epoch,
+        history=history,
+    )
+
+
+def train_multiple_seeds(
+    model_factory: Callable[[int], Module],
+    graph: Graph,
+    seeds: List[int],
+    config: Optional[TrainConfig] = None,
+    extra_loss_factory: Optional[Callable[[Module], Callable[[], Optional[Tensor]]]] = None,
+) -> Dict[str, float]:
+    """Run several seeds and report mean/std test accuracy (paper style)."""
+    accuracies, seconds = [], []
+    for seed in seeds:
+        model = model_factory(seed)
+        extra = extra_loss_factory(model) if extra_loss_factory else None
+        result = train(model, graph, config=config, extra_loss=extra)
+        accuracies.append(result.test_accuracy)
+        seconds.append(result.train_seconds)
+    return {
+        "mean_accuracy": float(np.mean(accuracies)),
+        "std_accuracy": float(np.std(accuracies)),
+        "mean_seconds": float(np.mean(seconds)),
+        "runs": len(seeds),
+    }

@@ -1,0 +1,56 @@
+"""Quantization methods: uniform, Degree-Quant (DQ), Degree-Aware (ours)."""
+
+from .compression import (
+    average_bitwidth,
+    bitwidth_histogram,
+    compression_ratio,
+    feature_memory_kb,
+)
+from .degree_aware import ETA, DegreeAwareConfig, DegreeAwareQuantizer
+from .degree_quant import DegreeQuantConfig, DegreeQuantizer
+from .fake_quant import (
+    FakeQuantPerColumn,
+    FakeQuantPerGroup,
+    dequantize,
+    qmax_for_bits,
+    quantize_integer,
+)
+from .flows import (
+    QUANT_METHODS,
+    QuantRunResult,
+    layer_dims_for,
+    run_degree_aware,
+    run_degree_quant,
+    run_fp32,
+    run_uniform,
+)
+from .ptq import PtqResult, post_training_quantize
+from .uniform import UniformQuantConfig, UniformQuantizer
+
+__all__ = [
+    "DegreeAwareConfig",
+    "DegreeAwareQuantizer",
+    "DegreeQuantConfig",
+    "DegreeQuantizer",
+    "UniformQuantConfig",
+    "UniformQuantizer",
+    "post_training_quantize",
+    "PtqResult",
+    "ETA",
+    "quantize_integer",
+    "dequantize",
+    "qmax_for_bits",
+    "FakeQuantPerGroup",
+    "FakeQuantPerColumn",
+    "average_bitwidth",
+    "compression_ratio",
+    "feature_memory_kb",
+    "bitwidth_histogram",
+    "QuantRunResult",
+    "layer_dims_for",
+    "run_fp32",
+    "run_degree_quant",
+    "run_degree_aware",
+    "run_uniform",
+    "QUANT_METHODS",
+]

@@ -1,0 +1,74 @@
+"""Post-training quantization (PTQ) — calibration without retraining.
+
+Not a paper experiment per se, but the natural extension users ask of a
+quantization library: take an FP32-trained model, calibrate observer
+scales on one forward pass, and evaluate at a chosen bitwidth.  Used in
+tests to establish that 8-bit PTQ is lossless (which isolates the
+*training* dynamics as the thing QAT adds at low bitwidths).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from ..nn import Module, evaluate
+from ..nn.layers import QuantHooks
+from ..tensor import Tensor, no_grad
+from .uniform import UniformQuantConfig, UniformQuantizer
+
+__all__ = ["post_training_quantize", "PtqResult"]
+
+
+class PtqResult:
+    """Outcome of post-training quantization."""
+
+    def __init__(self, accuracy_fp32: float, accuracy_quantized: float,
+                 bits: int) -> None:
+        self.accuracy_fp32 = accuracy_fp32
+        self.accuracy_quantized = accuracy_quantized
+        self.bits = bits
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.accuracy_fp32 - self.accuracy_quantized
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PtqResult(bits={self.bits}, fp32={self.accuracy_fp32:.3f}, "
+                f"quantized={self.accuracy_quantized:.3f})")
+
+
+def post_training_quantize(model: Module, graph: Graph, bits: int = 8,
+                           hooks: Optional[QuantHooks] = None) -> PtqResult:
+    """Swap quantization hooks into a trained model and evaluate.
+
+    Parameters
+    ----------
+    model:
+        A trained two-layer GNN from :mod:`repro.nn.models` (its layers
+        expose a ``hooks`` attribute).
+    bits:
+        Uniform feature bitwidth (weights share it).
+
+    The model is left quantized on return; restore by assigning fresh
+    :class:`~repro.nn.layers.QuantHooks` to ``model.hooks`` and layers.
+    """
+    fp32_accuracy = evaluate(model, graph, graph.test_mask)
+
+    quantizer = hooks or UniformQuantizer(
+        graph, UniformQuantConfig(bits=bits))
+    quantizer.training = False
+    model.hooks = quantizer
+    for attr in ("layer1", "layer2"):
+        layer = getattr(model, attr, None)
+        if layer is not None and hasattr(layer, "hooks"):
+            layer.hooks = quantizer
+
+    # Calibration pass: observers record ranges during this forward.
+    model.eval()
+    with no_grad():
+        model(Tensor(graph.features), graph)
+    quantized_accuracy = evaluate(model, graph, graph.test_mask)
+    return PtqResult(fp32_accuracy, quantized_accuracy, bits)

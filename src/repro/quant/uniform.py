@@ -1,0 +1,78 @@
+"""Uniform quantization: one observer scale, fixed bitwidth, all nodes.
+
+The plain data-independent scheme (all nodes share one bitwidth) used
+for ablation and for the 8-bit accelerator variants (HyGCN(8bit),
+GCNAX(8bit) in Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from ..nn.layers import QuantHooks
+from ..tensor import Tensor
+from .fake_quant import FakeQuantSTE, quantize_integer
+from .observers import EmaColumnObserver, EmaMaxObserver
+
+__all__ = ["UniformQuantConfig", "UniformQuantizer"]
+
+
+@dataclass
+class UniformQuantConfig:
+    bits: int = 8
+    weight_bits: Optional[int] = None
+    num_layers: int = 2
+
+
+class UniformQuantizer(QuantHooks):
+    """All nodes share a single observer scale at a fixed bitwidth."""
+
+    def __init__(self, graph: Graph, config: Optional[UniformQuantConfig] = None) -> None:
+        self.config = config or UniformQuantConfig()
+        self.num_nodes = graph.num_nodes
+        self.training = True
+        cfg = self.config
+        self._feature_obs = [EmaMaxObserver() for _ in range(cfg.num_layers)]
+        self._weight_obs: Dict[int, EmaColumnObserver] = {}
+
+    @property
+    def _wbits(self) -> int:
+        return self.config.weight_bits or self.config.bits
+
+    def features(self, x: Tensor, layer: int) -> Tensor:
+        obs = self._feature_obs[layer]
+        if self.training or obs.value is None:
+            obs.update(x.data)
+        scale = obs.scale(self.config.bits)
+        return FakeQuantSTE.apply(x, np.float64(scale), np.float64(self.config.bits))
+
+    def weight(self, w: Tensor, layer: int) -> Tensor:
+        obs = self._weight_obs.setdefault(layer, EmaColumnObserver())
+        if self.training or obs.value is None:
+            obs.update(w.data)
+        scale = obs.scale(self._wbits)
+        return FakeQuantSTE.apply(w, scale[None, :], np.float64(self._wbits))
+
+    def parameters(self) -> List[Tensor]:
+        return []
+
+    def node_bitwidths(self, layer: int) -> np.ndarray:
+        return np.full(self.num_nodes, self.config.bits, dtype=np.int64)
+
+    def average_bits(self) -> float:
+        return float(self.config.bits)
+
+    def compression_ratio(self) -> float:
+        return 32.0 / self.average_bits()
+
+    def node_scales(self, layer: int) -> np.ndarray:
+        scale = self._feature_obs[layer].scale(self.config.bits)
+        return np.full(self.num_nodes, scale, dtype=np.float64)
+
+    def quantize_feature_matrix(self, x: np.ndarray, layer: int) -> np.ndarray:
+        scale = self._feature_obs[layer].scale(self.config.bits)
+        return quantize_integer(np.asarray(x, dtype=np.float64), scale, self.config.bits)

@@ -1,0 +1,16 @@
+"""Shared hardware-simulation substrate: DRAM, SRAM buffers, energy."""
+
+from .buffers import BufferSet, BufferSpec
+from .dram import DramConfig, DramModel, DramTraffic
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyConstants
+
+__all__ = [
+    "DramConfig",
+    "DramModel",
+    "DramTraffic",
+    "BufferSet",
+    "BufferSpec",
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "DEFAULT_ENERGY",
+]

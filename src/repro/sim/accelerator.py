@@ -1,0 +1,145 @@
+"""Shared accelerator performance-model scaffolding.
+
+Every simulated accelerator (MEGA and the four baselines) subclasses
+:class:`AcceleratorModel`: it supplies per-layer compute cycles and DRAM
+traffic, and the base class assembles the pipeline, the stall model and
+the energy breakdown the same way for everyone — mirroring the paper's
+matched-configuration methodology (Table V: same DRAM bandwidth, same
+buffer capacity, OPS matched via BitOP equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .buffers import BufferSet
+from .dram import DramModel, DramTraffic
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyConstants
+from .workload import LayerSpec, Workload
+
+__all__ = ["LayerCost", "SimReport", "AcceleratorModel"]
+
+
+@dataclass
+class LayerCost:
+    """Per-layer outcome: compute cycles + DRAM traffic + PU energy."""
+
+    combination_cycles: float
+    aggregation_cycles: float
+    traffic: DramTraffic
+    pu_energy_pj: float
+    sram_bytes_moved: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_cycles(self) -> float:
+        # Combination and aggregation engines are pipelined; the slower
+        # one bounds throughput (heterogeneous designs), while unified
+        # designs report their sum through ``aggregation_cycles = 0``.
+        return max(self.combination_cycles, self.aggregation_cycles)
+
+
+@dataclass
+class SimReport:
+    """Full simulation outcome for one workload on one accelerator."""
+
+    accelerator: str
+    workload: str
+    compute_cycles: float
+    dram_cycles: float
+    total_cycles: float
+    stall_cycles: float
+    traffic: DramTraffic
+    energy: EnergyBreakdown
+    layer_costs: List[LayerCost] = field(default_factory=list)
+
+    @property
+    def dram_mb(self) -> float:
+        return self.traffic.total_mb
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / max(self.total_cycles, 1e-9)
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / 1e9  # 1 GHz
+
+    def speedup_over(self, other: "SimReport") -> float:
+        return other.total_cycles / max(self.total_cycles, 1e-9)
+
+    def energy_saving_over(self, other: "SimReport") -> float:
+        return other.energy.total_pj / max(self.energy.total_pj, 1e-9)
+
+    def dram_reduction_over(self, other: "SimReport") -> float:
+        return other.traffic.transferred_bytes / max(self.traffic.transferred_bytes, 1e-9)
+
+
+class AcceleratorModel:
+    """Base class for cycle-approximate accelerator models."""
+
+    name = "abstract"
+    # Fraction of DRAM time hidden under compute by the design's
+    # prefetch/ping-pong machinery.  HyGCN's weak prefetching is what
+    # Fig. 1 shows as 86% stalls; MEGA's ping-pong buffers overlap most.
+    dram_overlap = 0.7
+    total_power_mw = 200.0
+    leakage_fraction = 0.10
+
+    def __init__(self, buffers: BufferSet,
+                 dram: Optional[DramModel] = None,
+                 energy: EnergyConstants = DEFAULT_ENERGY) -> None:
+        self.buffers = buffers
+        self.dram = dram or DramModel(energy=energy)
+        self.energy = energy
+
+    # -- subclass interface ------------------------------------------------
+    def layer_cost(self, workload: Workload, layer_index: int) -> LayerCost:
+        raise NotImplementedError
+
+    # -- assembly ----------------------------------------------------------
+    def simulate(self, workload: Workload) -> SimReport:
+        """Run the model over every layer and assemble the report."""
+        layer_costs = [self.layer_cost(workload, i)
+                       for i in range(len(workload.layers))]
+        compute = sum(c.compute_cycles for c in layer_costs)
+        traffic = DramTraffic()
+        for c in layer_costs:
+            traffic = traffic + c.traffic
+        dram_cycles = self.dram.cycles(traffic)
+
+        hidden = self.dram_overlap * compute
+        stall = max(0.0, dram_cycles - hidden)
+        total = compute + stall
+
+        dram_pj = self.dram.energy_pj(traffic)
+        sram_bytes = sum(c.sram_bytes_moved for c in layer_costs)
+        sram_pj = self.buffers.access_energy_pj(sram_bytes * 0.5, sram_bytes * 0.5)
+        pu_pj = sum(c.pu_energy_pj for c in layer_costs)
+        seconds = total / (self.dram.config.core_frequency_ghz * 1e9)
+        leakage_pj = self.total_power_mw * self.leakage_fraction * seconds * 1e9
+
+        return SimReport(
+            accelerator=self.name,
+            workload=workload.name,
+            compute_cycles=compute,
+            dram_cycles=dram_cycles,
+            total_cycles=total,
+            stall_cycles=stall,
+            traffic=traffic,
+            energy=EnergyBreakdown(dram_pj, sram_pj, pu_pj, leakage_pj),
+            layer_costs=layer_costs,
+        )
+
+    # -- shared helpers ------------------------------------------------------
+    @staticmethod
+    def feature_bytes(layer: LayerSpec, dense_bits: float) -> float:
+        """Dense per-node feature bytes at ``dense_bits`` precision."""
+        return layer.in_dim * dense_bits / 8.0
+
+    @staticmethod
+    def weight_traffic_bytes(layer: LayerSpec, bits: float) -> float:
+        return layer.in_dim * layer.out_dim * bits / 8.0

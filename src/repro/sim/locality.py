@@ -1,0 +1,151 @@
+"""Aggregation-phase DRAM locality models (Sec. III-B, V-E, Fig. 6/12).
+
+During aggregation every destination node needs the combined features of
+its sources.  How much DRAM traffic that causes depends on the
+scheduling strategy:
+
+- ``naive``: no partition — destinations are processed in contiguous
+  id tiles sized by the aggregation buffer; every edge whose source is
+  not inside the currently-resident tile pays a granularity-padded read.
+- ``metis``: the graph is partitioned (METIS-style); edges internal to a
+  subgraph enjoy full reuse, but each *sparse connection* (inter-
+  subgraph edge) pays an irregular read, half-wasted when the feature
+  vector is smaller than a DRAM transaction — GROW/GCoD's pitfall.
+- ``gcod``: like ``metis`` but the sparse-region edges are deduplicated
+  per (subgraph, source) as GCoD's dedicated sparse engine does.
+- ``condense``: the paper's Condense-Edge — sources needed by a
+  subgraph were previously reordered into a contiguous region, so they
+  are read once each, back to back, at full transaction utilization
+  (plus the one-time write traffic of the reordering itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .dram import DramModel, DramTraffic
+
+__all__ = ["AggregationTraffic", "aggregation_locality_traffic", "cross_subgraph_pairs"]
+
+STRATEGIES = ("naive", "metis", "gcod", "condense")
+
+
+@dataclass
+class AggregationTraffic:
+    """DRAM traffic of one layer's aggregation phase."""
+
+    internal: DramTraffic
+    cross: DramTraffic
+    reorder_writes: DramTraffic
+
+    @property
+    def total(self) -> DramTraffic:
+        return self.internal + self.cross + self.reorder_writes
+
+
+def cross_subgraph_pairs(adjacency: sp.csr_matrix, parts: np.ndarray):
+    """Unique (destination-subgraph, source) pairs over sparse connections.
+
+    Returns ``(num_unique_pairs, num_cross_edges, unique_sources)``.
+    """
+    coo = adjacency.tocoo()
+    cross = parts[coo.row] != parts[coo.col]
+    dst_part = parts[coo.row[cross]].astype(np.int64)
+    src = coo.col[cross].astype(np.int64)
+    if len(src) == 0:
+        return 0, 0, 0
+    keys = dst_part * adjacency.shape[0] + src
+    unique_pairs = len(np.unique(keys))
+    unique_sources = len(np.unique(src))
+    return unique_pairs, int(cross.sum()), unique_sources
+
+
+def _contiguous_tiles(num_nodes: int, tile_nodes: int) -> np.ndarray:
+    tile_nodes = max(tile_nodes, 1)
+    return (np.arange(num_nodes) // tile_nodes).astype(np.int64)
+
+
+def aggregation_locality_traffic(
+    adjacency: sp.csr_matrix,
+    feature_bytes_per_node: float,
+    dram: DramModel,
+    strategy: str = "condense",
+    parts: Optional[np.ndarray] = None,
+    buffer_nodes: Optional[int] = None,
+    combination_buffer_bytes: float = 96 * 1024,
+    sparse_buffer_bytes: float = 32 * 1024,
+) -> AggregationTraffic:
+    """Model the aggregation phase's feature-read traffic.
+
+    Parameters
+    ----------
+    feature_bytes_per_node:
+        Size of one node's *combined* feature vector in DRAM (already
+        quantized/compressed as the accelerator stores it).
+    parts:
+        Node -> subgraph assignment for the partitioned strategies; for
+        ``naive`` contiguous tiles of ``buffer_nodes`` are used instead.
+    buffer_nodes:
+        Aggregation-buffer capacity in nodes (partial-sum residency).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    n = adjacency.shape[0]
+    feat = float(feature_bytes_per_node)
+
+    if strategy == "naive" or parts is None:
+        tiles = _contiguous_tiles(n, buffer_nodes or n)
+    else:
+        tiles = np.asarray(parts, dtype=np.int64)
+
+    coo = adjacency.tocoo()
+    cross_mask = tiles[coo.row] != tiles[coo.col]
+    num_cross_edges = int(cross_mask.sum())
+
+    # Internal traffic: combined features are written once, and each
+    # subgraph re-reads its internal unique sources only when they no
+    # longer fit in the combination buffer.
+    dst_part = tiles[coo.row[~cross_mask]]
+    src_internal = coo.col[~cross_mask]
+    if len(src_internal):
+        keys = dst_part.astype(np.int64) * n + src_internal
+        internal_unique = len(np.unique(keys))
+    else:
+        internal_unique = 0
+    part_sizes = np.bincount(tiles)
+    avg_part_bytes = float(part_sizes.mean()) * feat if len(part_sizes) else 0.0
+    write_all = dram.sequential_access(n * feat, purpose="agg_feature_write")
+    if avg_part_bytes > combination_buffer_bytes:
+        internal_reads = dram.sequential_access(internal_unique * feat,
+                                                purpose="agg_internal_read")
+    else:
+        internal_reads = DramTraffic()
+    internal = write_all + internal_reads
+
+    reorder_writes = DramTraffic()
+    if strategy == "naive":
+        cross = dram.random_access(num_cross_edges, feat, purpose="agg_cross_read")
+    elif strategy == "metis":
+        # GROW: sparse connections stream per edge at transaction
+        # granularity — no reuse across edges of the same source.
+        cross = dram.random_access(num_cross_edges, feat, purpose="agg_cross_read")
+    elif strategy == "gcod":
+        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles)
+        cross = dram.random_access(unique_pairs, feat, purpose="agg_cross_read")
+    else:  # condense
+        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles)
+        useful = unique_pairs * feat
+        # The Condense Unit wrote these features contiguously per
+        # subgraph while the first subgraph aggregated; reading them
+        # back is fully sequential.  Regions that fit in the Sparse
+        # Buffer never leave the chip — only the overflow is written
+        # back to DRAM (Algorithm 1, line 16).
+        spill = max(0.0, useful - sparse_buffer_bytes)
+        cross = dram.sequential_access(spill, purpose="agg_cross_read")
+        reorder_writes = dram.sequential_access(spill, purpose="condense_write")
+    return AggregationTraffic(internal=internal, cross=cross,
+                              reorder_writes=reorder_writes)

@@ -1,0 +1,245 @@
+"""Workload descriptions consumed by the accelerator performance models.
+
+A :class:`Workload` is everything a simulator needs about one
+(dataset, model, quantization) triple: the adjacency structure, the
+per-layer dimensions, per-node feature sparsity, and per-node
+quantization bitwidths.  Workloads are built either from paper-scale
+statistics (`build_workload`) or from an actually-trained quantized
+model (`workload_from_quant_run`) — both drive the same simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import Graph, load_dataset, paper_stats, sim_feature_stats
+from ..nn.models import MODEL_SPECS
+
+__all__ = [
+    "LayerSpec",
+    "Workload",
+    "build_workload",
+    "workload_from_quant_run",
+    "synthesize_degree_aware_bits",
+    "FIG5_HIDDEN_DENSITY",
+    "PAPER_AVERAGE_BITS",
+]
+
+# Paper Fig. 5: density of the node-feature maps per (model, dataset).
+FIG5_HIDDEN_DENSITY: Dict[str, Dict[str, float]] = {
+    "gcn": {"cora": 0.44, "citeseer": 0.55, "pubmed": 0.41, "nell": 0.12, "reddit": 0.54},
+    "gin": {"cora": 0.63, "citeseer": 0.79, "pubmed": 0.84, "nell": 0.33, "reddit": 0.19},
+    "graphsage": {"cora": 0.79, "citeseer": 0.88, "pubmed": 0.71, "nell": 0.56, "reddit": 0.51},
+    "gat": {"cora": 0.50, "citeseer": 0.60, "pubmed": 0.50, "nell": 0.20, "reddit": 0.50},
+}
+
+# Paper Table VI: average feature bitwidths achieved by Degree-Aware.
+PAPER_AVERAGE_BITS: Dict[str, Dict[str, float]] = {
+    "gcn": {"cora": 1.70, "citeseer": 1.87, "pubmed": 2.50, "nell": 2.2, "reddit": 2.5},
+    "gin": {"cora": 2.37, "citeseer": 2.54, "pubmed": 2.6, "nell": 2.6, "reddit": 2.8},
+    "graphsage": {"cora": 3.40, "citeseer": 3.2, "pubmed": 3.0, "nell": 3.0, "reddit": 2.74},
+    "gat": {"cora": 2.5, "citeseer": 1.94, "pubmed": 2.5, "nell": 2.5, "reddit": 2.7},
+}
+
+
+@dataclass
+class LayerSpec:
+    """One GNN layer's combination + aggregation workload."""
+
+    in_dim: int
+    out_dim: int
+    input_nnz: np.ndarray        # per-node non-zeros in the input feature map
+    input_bits: np.ndarray       # per-node quantization bitwidth (32 = FP32)
+    weight_bits: int = 4
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.input_nnz)
+
+    @property
+    def input_density(self) -> float:
+        return float(self.input_nnz.mean() / max(self.in_dim, 1))
+
+    def feature_bits_per_node(self) -> np.ndarray:
+        """Dense storage cost of each node's input features, in bits."""
+        return self.input_bits.astype(np.int64) * self.in_dim
+
+    def average_bits(self) -> float:
+        return float(self.input_bits.mean())
+
+
+@dataclass
+class Workload:
+    """A full inference workload: graph structure + per-layer specs."""
+
+    name: str
+    model_name: str
+    dataset: str
+    adjacency: sp.csr_matrix
+    layers: List[LayerSpec]
+    precision: str = "degree-aware"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.adjacency.nnz)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        return np.asarray(self.adjacency.astype(bool).sum(axis=1)).reshape(-1)
+
+    def average_feature_bits(self) -> float:
+        total_bits, total_vals = 0.0, 0.0
+        for layer in self.layers:
+            total_bits += float(layer.input_bits.sum()) * layer.in_dim
+            total_vals += layer.num_nodes * layer.in_dim
+        return total_bits / total_vals
+
+    def compression_ratio(self) -> float:
+        return 32.0 / self.average_feature_bits()
+
+
+def synthesize_degree_aware_bits(
+    degrees: np.ndarray,
+    target_average: float,
+    min_bits: int = 2,
+    max_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-node bitwidths with the Degree-Aware structure.
+
+    Low-degree nodes (the power-law majority) sit at ``min_bits``;
+    bitwidth rises with degree rank so that the average matches
+    ``target_average`` — the allocation shape the trained quantizer
+    produces (Sec. IV), synthesized for paper-scale graphs where
+    training is not feasible.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    n = len(degrees)
+    target_average = float(np.clip(target_average, min_bits, max_bits))
+    ranks = degrees.argsort().argsort() / max(n - 1, 1)
+    # Allocate extra bits to the top-degree tail: bits(r) = min_bits for
+    # r < 1 - tail, rising linearly to max_bits at r = 1.  Solve the tail
+    # fraction so the mean hits the target.
+    extra_needed = target_average - min_bits
+    span = max_bits - min_bits
+    tail = float(np.clip(2.0 * extra_needed / span, 0.0, 1.0))
+    if tail <= 0:
+        return np.full(n, min_bits, dtype=np.int64)
+    rise = (ranks - (1.0 - tail)) / tail
+    bits = min_bits + np.clip(rise, 0.0, 1.0) * span
+    return np.clip(np.round(bits), min_bits, max_bits).astype(np.int64)
+
+
+def build_workload(
+    dataset: str,
+    model_name: str,
+    precision: str = "degree-aware",
+    seed: int = 0,
+    graph: Optional[Graph] = None,
+    target_average_bits: Optional[float] = None,
+) -> Workload:
+    """Construct a simulator workload from dataset/model statistics.
+
+    Parameters
+    ----------
+    precision:
+        ``"degree-aware"`` (mixed, synthesized per-degree), ``"int8"``
+        (uniform 8-bit, for the 8-bit baseline variants), or ``"fp32"``.
+    graph:
+        Optional pre-built graph (defaults to ``load_dataset(name,
+        scale="sim")``).
+    """
+    model_key = model_name.lower()
+    stats = paper_stats(dataset)
+    spec = MODEL_SPECS[model_key]
+    if graph is None:
+        graph = load_dataset(dataset, scale="sim", seed=seed)
+    rng = np.random.default_rng(seed + 17)
+
+    adjacency = graph.adjacency
+    if spec["sample"] is not None:
+        adjacency = graph.sample_neighbors(spec["sample"],
+                                           rng=np.random.default_rng(seed)).adjacency
+    n = adjacency.shape[0]
+    degrees = np.asarray(adjacency.astype(bool).sum(axis=1)).reshape(-1)
+
+    # Input layer: paper-scale feature length + per-node sparsity.
+    feature_dim, input_nnz = sim_feature_stats(dataset, rng=rng)
+    input_nnz = input_nnz[:n] if len(input_nnz) >= n else np.resize(input_nnz, n)
+
+    hidden = spec["hidden"]
+    hidden_density = FIG5_HIDDEN_DENSITY[model_key][stats.name]
+    spread = rng.lognormal(0.0, 0.25, size=n)
+    hidden_nnz = np.clip(
+        np.round(hidden * hidden_density * spread), 1, hidden
+    ).astype(np.int64)
+
+    if precision == "fp32":
+        bits0 = np.full(n, 32, dtype=np.int64)
+        bits1 = np.full(n, 32, dtype=np.int64)
+    elif precision in ("int8", "uniform-int8"):
+        bits0 = np.full(n, 8, dtype=np.int64)
+        bits1 = np.full(n, 8, dtype=np.int64)
+    elif precision == "degree-aware":
+        target = target_average_bits or PAPER_AVERAGE_BITS[model_key][stats.name]
+        # The Degree-Aware floor is 2 bits (Sec. V-C), so paper averages
+        # below ~2.4 would degenerate to an all-2-bit allocation with no
+        # high-precision tail; keep the tail the trained quantizer shows.
+        target = max(target, 2.4)
+        bits0 = synthesize_degree_aware_bits(degrees, target, rng=rng)
+        bits1 = synthesize_degree_aware_bits(degrees, target, rng=rng)
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+
+    weight_bits = 32 if precision == "fp32" else (8 if precision.endswith("int8") else 4)
+    layers = [
+        LayerSpec(feature_dim, hidden, input_nnz, bits0, weight_bits=weight_bits),
+        LayerSpec(hidden, stats.num_classes, hidden_nnz, bits1, weight_bits=weight_bits),
+    ]
+    return Workload(
+        name=f"{stats.name}-{model_key}-{precision}",
+        model_name=model_key,
+        dataset=stats.name,
+        adjacency=adjacency.tocsr(),
+        layers=layers,
+        precision=precision,
+        metadata={"feature_dim": feature_dim, "hidden": hidden},
+    )
+
+
+def workload_from_quant_run(graph: Graph, model_name: str, node_bitwidths: np.ndarray,
+                            hidden_bitwidths: Optional[np.ndarray] = None,
+                            precision: str = "degree-aware") -> Workload:
+    """Build a workload from an actually trained quantization run."""
+    model_key = model_name.lower()
+    spec = MODEL_SPECS[model_key]
+    hidden = spec["hidden"]
+    n = graph.num_nodes
+    input_nnz = (graph.features != 0).sum(axis=1).astype(np.int64)
+    density = FIG5_HIDDEN_DENSITY[model_key].get(graph.name.split("-")[0], 0.5)
+    hidden_nnz = np.full(n, max(int(hidden * density), 1), dtype=np.int64)
+    bits0 = np.asarray(node_bitwidths, dtype=np.int64)
+    bits1 = np.asarray(hidden_bitwidths if hidden_bitwidths is not None else node_bitwidths,
+                       dtype=np.int64)
+    weight_bits = 32 if precision == "fp32" else 4
+    layers = [
+        LayerSpec(graph.feature_dim, hidden, input_nnz, bits0, weight_bits=weight_bits),
+        LayerSpec(hidden, graph.num_classes, hidden_nnz, bits1, weight_bits=weight_bits),
+    ]
+    return Workload(
+        name=f"{graph.name}-{model_key}-{precision}",
+        model_name=model_key,
+        dataset=graph.name,
+        adjacency=graph.adjacency,
+        layers=layers,
+        precision=precision,
+    )

@@ -1,0 +1,21 @@
+"""Numpy-backed autograd engine used as the training substrate.
+
+Public surface::
+
+    from repro.tensor import Tensor, no_grad, functional as F
+    from repro.tensor.optim import Adam
+"""
+
+from . import functional, init, optim
+from .tensor import Function, Tensor, is_grad_enabled, no_grad, tensor
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "optim",
+    "init",
+]

@@ -1,0 +1,8 @@
+"""Shared pytest configuration: the ``slow`` marker."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end experiments")

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness (structure + paper-shape assertions)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ablation_fig19,
+    cr_sensitivity,
+    energy_breakdown_fig18,
+    format_table,
+    geomean,
+    locality_study,
+    normalize_to,
+    original_config_comparison,
+    package_length_study,
+    simulate,
+    speedup_table,
+    stall_table,
+)
+
+WORKLOADS = (("cora", "gcn"), ("citeseer", "gcn"))
+
+
+class TestReporting:
+    def test_geomean_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_empty_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_format_table_aligns(self):
+        txt = format_table([[1.0, "a"], [2.0, "bb"]], ["x", "y"])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_normalize_to(self):
+        rows = {"r": {"a": 2.0, "b": 4.0}}
+        out = normalize_to(rows, "a")
+        assert out["r"]["b"] == pytest.approx(0.5)
+
+
+class TestTables:
+    def test_speedup_table_mega_wins(self):
+        table = speedup_table(workloads=WORKLOADS,
+                              accelerators=("hygcn", "gcnax"))
+        for row_key, row in table.items():
+            for name, speedup in row.items():
+                assert speedup > 1.0, (row_key, name)
+
+    def test_geomean_row_present(self):
+        table = speedup_table(workloads=WORKLOADS,
+                              accelerators=("gcnax",))
+        assert "geomean" in table
+
+    def test_stall_ordering(self):
+        """Fig. 20(a): MEGA stalls less than HyGCN."""
+        table = stall_table(datasets=("cora",))
+        assert table["cora"]["mega"] <= table["cora"]["hygcn"]
+
+    def test_simulate_memoized(self):
+        a = simulate("gcnax", "cora", "gcn")
+        b = simulate("gcnax", "cora", "gcn")
+        assert a is b
+
+
+class TestAblation:
+    def test_fig19_ordering(self):
+        steps = ablation_fig19("cora", "gcn")
+        cycles = [steps[k].total_cycles for k in
+                  ("hygcn-c", "quant+bitmap", "+adaptive-package", "+condense-edge")]
+        # Each technique may only help (or be neutral).
+        assert cycles[0] > cycles[1] >= cycles[2] >= cycles[3]
+        dram = [steps[k].traffic.transferred_bytes for k in
+                ("hygcn-c", "quant+bitmap", "+adaptive-package", "+condense-edge")]
+        assert dram[0] > dram[1] >= dram[2] >= dram[3]
+
+
+class TestStudies:
+    def test_locality_study_ordering(self):
+        """Fig. 6 / 20(b): condense has the least sparse-connection DRAM."""
+        out = locality_study("cora")
+        assert out["condense"]["cross_mb"] <= out["gcod"]["cross_mb"]
+        assert out["gcod"]["cross_mb"] <= out["metis"]["cross_mb"]
+        assert set(out) == {"naive", "metis", "gcod", "condense"}
+
+    def test_package_length_study_normalized(self):
+        out = package_length_study(datasets=("cora",))
+        values = list(out["cora"].values())
+        assert min(values) == pytest.approx(1.0)
+        assert all(v >= 1.0 for v in values)
+
+    def test_cr_sensitivity_monotone(self):
+        """Fig. 22: speedup grows with compression ratio."""
+        out = cr_sensitivity("cora", models=("gcn",), targets=(8.0, 4.0, 2.5))
+        speedups = list(out["gcn"].values())
+        assert speedups[-1] >= speedups[0]
+
+    def test_original_config_mega_wins(self):
+        out = original_config_comparison(datasets=("cora",))
+        assert out["cora"]["mega"] > out["cora"]["grow"] >= 0.5
+        assert out["cora"]["gcnax"] == 1.0
+
+    def test_energy_breakdown_hygcn_dominated_by_dram(self):
+        out = energy_breakdown_fig18(datasets=("cora",))
+        assert out["cora"]["hygcn"]["dram"] > 1.0

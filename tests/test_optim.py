@@ -1,0 +1,98 @@
+"""Optimizer tests: convergence on convex problems + bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor.optim import SGD, Adam, Optimizer, clip_grad_norm
+
+
+def quadratic_step(param):
+    loss = ((param - 3.0) ** 2).sum()
+    loss.backward()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_step(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(4), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss = quadratic_step(p)
+                opt.step()
+            losses[momentum] = loss
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.ones(1, dtype=np.float32), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_gradless_params(self):
+        p = Tensor(np.ones(1, dtype=np.float32), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no grad accumulated: no-op
+        assert p.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_step(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(4), atol=1e-2)
+
+    def test_step_size_bounded_by_lr(self):
+        p = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        quadratic_step(p)
+        opt.step()
+        # Adam's first step is ~lr regardless of gradient magnitude.
+        assert abs(p.data[0]) <= 0.011
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_only_trainable_params_kept(self):
+        a = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(1, dtype=np.float32), requires_grad=False)
+        opt = Adam([a, b], lr=0.1)
+        assert len(opt.params) == 1
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        p.grad = np.array([0.1, 0.1], dtype=np.float32)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_ignores_missing_grads(self):
+        p = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0

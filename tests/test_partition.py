@@ -1,0 +1,90 @@
+"""Tests for the METIS-like multilevel partitioner."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import load_dataset
+from repro.graphs.partition import (
+    PartitionResult,
+    edge_cut,
+    partition_graph,
+    partition_quality,
+    sparse_connection_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def cora():
+    return load_dataset("cora")
+
+
+class TestPartitionBasics:
+    def test_assignment_covers_all_nodes(self, cora):
+        res = partition_graph(cora.adjacency, 8, seed=0)
+        assert len(res.parts) == cora.num_nodes
+        assert set(np.unique(res.parts)) <= set(range(8))
+
+    def test_single_part_trivial(self, cora):
+        res = partition_graph(cora.adjacency, 1)
+        assert res.edge_cut == 0
+        assert (res.parts == 0).all()
+
+    def test_more_parts_than_nodes(self):
+        adj = sp.identity(4, format="csr")
+        res = partition_graph(adj, 8)
+        assert len(res.parts) == 4
+
+    def test_deterministic_given_seed(self, cora):
+        a = partition_graph(cora.adjacency, 4, seed=3)
+        b = partition_graph(cora.adjacency, 4, seed=3)
+        np.testing.assert_array_equal(a.parts, b.parts)
+
+    def test_balance_reported(self, cora):
+        res = partition_graph(cora.adjacency, 8, seed=0)
+        sizes = np.bincount(res.parts, minlength=8)
+        assert res.balance == pytest.approx(
+            sizes.max() / (cora.num_nodes / 8), rel=1e-6)
+
+
+class TestPartitionQuality:
+    def test_cut_beats_random_assignment(self, cora):
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 8, cora.num_nodes)
+        random_cut = edge_cut(cora.adjacency, random_parts)
+        res = partition_graph(cora.adjacency, 8, seed=0)
+        assert res.edge_cut < random_cut
+
+    def test_community_structure_found(self):
+        """Two disconnected cliques must be separated perfectly."""
+        block = np.ones((10, 10)) - np.eye(10)
+        adj = sp.block_diag([block, block]).tocsr()
+        res = partition_graph(adj, 2, seed=0)
+        assert res.edge_cut == 0
+        assert len(set(res.parts[:10])) == 1
+        assert res.parts[0] != res.parts[10]
+
+    def test_quality_dict(self, cora):
+        res = partition_graph(cora.adjacency, 4, seed=0)
+        q = partition_quality(cora.adjacency, res.parts)
+        assert q["num_parts"] == 4
+        assert 0 <= q["cut_fraction"] <= 1
+        assert q["edge_cut"] == res.edge_cut
+
+
+class TestSparseConnections:
+    def test_cross_edges_match_edge_cut(self, cora):
+        res = partition_graph(cora.adjacency, 8, seed=0)
+        dst, src = sparse_connection_edges(cora.adjacency, res.parts)
+        assert len(dst) == res.edge_cut
+        assert (res.parts[dst] != res.parts[src]).all()
+
+    def test_no_cross_edges_single_part(self, cora):
+        parts = np.zeros(cora.num_nodes, dtype=np.int64)
+        dst, src = sparse_connection_edges(cora.adjacency, parts)
+        assert len(dst) == 0
+
+    def test_part_nodes_helper(self, cora):
+        res = partition_graph(cora.adjacency, 4, seed=0)
+        nodes = res.part_nodes(0)
+        assert (res.parts[nodes] == 0).all()

@@ -1,0 +1,257 @@
+"""Tests for quantization primitives and the three quantizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import load_dataset
+from repro.quant import (
+    DegreeAwareConfig,
+    DegreeAwareQuantizer,
+    DegreeQuantConfig,
+    DegreeQuantizer,
+    UniformQuantConfig,
+    UniformQuantizer,
+    dequantize,
+    qmax_for_bits,
+    quantize_integer,
+)
+from repro.quant.fake_quant import FakeQuantPerColumn, FakeQuantPerGroup, FakeQuantSTE
+from repro.quant.observers import EmaColumnObserver, EmaMaxObserver
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale="tiny")
+
+
+class TestQuantizeInteger:
+    def test_codes_within_signed_range(self):
+        x = np.random.default_rng(0).normal(0, 3, size=(10, 10))
+        q = quantize_integer(x, 0.1, 4)
+        assert q.max() <= 7 and q.min() >= -7
+
+    def test_codes_within_unsigned_range(self):
+        x = np.abs(np.random.default_rng(0).normal(0, 3, size=(10, 10)))
+        q = quantize_integer(x, 0.1, 4)
+        assert q.max() <= 15 and q.min() >= 0
+
+    def test_round_half_away_from_zero(self):
+        q = quantize_integer(np.array([0.75, -0.75]), 0.5, 8, unsigned=False)
+        assert q.tolist() == [2, -2]
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_integer(np.zeros(3), 0.5, 4).tolist() == [0, 0, 0]
+
+    @given(st.floats(0.01, 10.0), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_error_bounded(self, scale, bits):
+        rng = np.random.default_rng(0)
+        qmax = float(qmax_for_bits(bits, unsigned=True))
+        x = rng.uniform(0, scale * qmax, size=50)
+        q = quantize_integer(x, scale, bits)
+        err = np.abs(dequantize(q, scale) - x)
+        assert err.max() <= scale / 2 + 1e-9
+
+    def test_clipping_at_qmax(self):
+        q = quantize_integer(np.array([100.0]), 0.1, 3)  # unsigned qmax=7
+        assert q[0] == 7
+
+
+class TestFakeQuantSTE:
+    def test_forward_matches_quantize_dequantize(self):
+        x = np.abs(np.random.default_rng(1).normal(size=(5, 4))).astype(np.float32)
+        t = Tensor(x, requires_grad=True)
+        out = FakeQuantSTE.apply(t, np.float64(0.1), np.float64(4.0))
+        expected = dequantize(quantize_integer(x, 0.1, 4), 0.1)
+        np.testing.assert_allclose(out.data, expected, atol=1e-6)
+
+    def test_gradient_passthrough_in_range(self):
+        t = Tensor(np.array([0.3], dtype=np.float32), requires_grad=True)
+        FakeQuantSTE.apply(t, np.float64(0.1), np.float64(8.0)).sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_gradient_zero_when_clipped(self):
+        t = Tensor(np.array([1000.0], dtype=np.float32), requires_grad=True)
+        FakeQuantSTE.apply(t, np.float64(0.1), np.float64(4.0)).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0])
+
+
+class TestFakeQuantPerGroup:
+    def test_groups_use_own_scales(self):
+        x = Tensor(np.array([[1.0], [1.0]], dtype=np.float32))
+        scales = Tensor(np.array([1.0, 0.5], dtype=np.float32))
+        bits = Tensor(np.array([8.0, 8.0], dtype=np.float32))
+        out = FakeQuantPerGroup.apply(x, scales, bits, np.array([0, 1]),
+                                      np.full(2, 2.0), np.full(2, 8.0))
+        np.testing.assert_allclose(out.data, [[1.0], [1.0]], atol=1e-6)
+
+    def test_bitwidth_gradient_only_from_clipped(self):
+        # Group 0 has clipped values -> bits grad nonzero; group 1 none.
+        x = Tensor(np.array([[100.0], [0.1]], dtype=np.float32), requires_grad=True)
+        scales = Tensor(np.array([0.1, 0.1], dtype=np.float32), requires_grad=True)
+        bits = Tensor(np.array([4.0, 4.0], dtype=np.float32), requires_grad=True)
+        out = FakeQuantPerGroup.apply(x, scales, bits, np.array([0, 1]),
+                                      np.full(2, 2.0), np.full(2, 8.0))
+        out.sum().backward()
+        assert bits.grad[0] != 0.0
+        assert bits.grad[1] == 0.0
+
+    def test_scale_gradient_shape(self):
+        x = Tensor(np.abs(np.random.default_rng(0).normal(size=(6, 3))).astype(np.float32),
+                   requires_grad=True)
+        scales = Tensor(np.full(2, 0.2, dtype=np.float32), requires_grad=True)
+        bits = Tensor(np.full(2, 4.0, dtype=np.float32), requires_grad=True)
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        FakeQuantPerGroup.apply(x, scales, bits, groups,
+                                np.full(2, 2.0), np.full(2, 8.0)).sum().backward()
+        assert scales.grad.shape == (2,)
+        assert bits.grad.shape == (2,)
+
+
+class TestFakeQuantPerColumn:
+    def test_per_column_scales(self):
+        w = Tensor(np.array([[1.0, 10.0]], dtype=np.float32), requires_grad=True)
+        scales = Tensor(np.array([1.0, 10.0], dtype=np.float32) / 7, requires_grad=True)
+        out = FakeQuantPerColumn.apply(w, scales, 4.0)
+        np.testing.assert_allclose(out.data, [[1.0, 10.0]], atol=0.2)
+
+    def test_gradients_flow_to_scales(self):
+        w = Tensor(np.random.default_rng(0).normal(size=(4, 3)).astype(np.float32),
+                   requires_grad=True)
+        scales = Tensor(np.full(3, 0.05, dtype=np.float32), requires_grad=True)
+        FakeQuantPerColumn.apply(w, scales, 4.0).sum().backward()
+        assert scales.grad.shape == (3,)
+        assert w.grad is not None
+
+
+class TestObservers:
+    def test_ema_max_first_update_sets_value(self):
+        obs = EmaMaxObserver()
+        obs.update(np.array([1.0, -3.0]))
+        assert obs.value == 3.0
+
+    def test_ema_decays(self):
+        obs = EmaMaxObserver(momentum=0.5)
+        obs.update(np.array([4.0]))
+        obs.update(np.array([0.0]))
+        assert obs.value == pytest.approx(2.0)
+
+    def test_scale_maps_max_to_qmax(self):
+        obs = EmaMaxObserver()
+        obs.update(np.array([12.7]))
+        assert obs.scale(8) == pytest.approx(0.1)
+
+    def test_column_observer_shape(self):
+        obs = EmaColumnObserver()
+        obs.update(np.random.default_rng(0).normal(size=(5, 3)))
+        assert obs.scale(4).shape == (3,)
+
+    def test_column_observer_unqueried_raises(self):
+        with pytest.raises(RuntimeError):
+            EmaColumnObserver().scale(4)
+
+
+class TestDegreeAwareQuantizer:
+    def make(self, graph, **kwargs):
+        cfg = DegreeAwareConfig(**kwargs)
+        return DegreeAwareQuantizer(graph, [graph.feature_dim, 16], cfg)
+
+    def test_bitwidths_within_bounds(self, graph):
+        q = self.make(graph)
+        bits = q.node_bitwidths(0)
+        assert bits.min() >= 2 and bits.max() <= 8
+
+    def test_one_parameter_per_degree_group(self, graph):
+        q = self.make(graph, degree_cap=16)
+        assert q.log_scales[0].shape == (16,)
+        assert q.bits[0].shape == (16,)
+
+    def test_memory_target_from_average_bits(self, graph):
+        q = self.make(graph, target_average_bits=4.0)
+        total_vals = (graph.feature_dim + 16) * graph.num_nodes
+        assert q.memory_target_kb == pytest.approx(4.0 * total_vals / (8 * 1024))
+
+    def test_extra_loss_zero_at_target(self, graph):
+        q = self.make(graph, init_bits=4.0, target_average_bits=4.0)
+        assert float(q.extra_loss().data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_extra_loss_positive_off_target(self, graph):
+        q = self.make(graph, init_bits=8.0, target_average_bits=2.0)
+        assert float(q.extra_loss().data) > 0
+
+    def test_features_hook_calibrates_once(self, graph):
+        q = self.make(graph)
+        x = Tensor(graph.features)
+        q.features(x, 0)
+        first = q.log_scales[0].data.copy()
+        q.features(x, 0)
+        np.testing.assert_array_equal(first, q.log_scales[0].data)
+
+    def test_compression_ratio_consistency(self, graph):
+        q = self.make(graph, init_bits=4.0)
+        assert q.compression_ratio() == pytest.approx(32.0 / q.average_bits())
+
+    def test_quantize_feature_matrix_codes_bounded(self, graph):
+        q = self.make(graph)
+        q.features(Tensor(graph.features), 0)
+        codes = q.quantize_feature_matrix(graph.features, 0)
+        qmax = 2 ** q.node_bitwidths(0)[:, None] - 1  # unsigned features
+        assert (np.abs(codes) <= qmax).all()
+
+    def test_optimizers_split(self, graph):
+        q = self.make(graph)
+        q.features(Tensor(graph.features), 0)
+        opts = q.optimizers()
+        assert len(opts) == 2
+
+    def test_wrong_layer_dims_raise(self, graph):
+        with pytest.raises(ValueError):
+            DegreeAwareQuantizer(graph, [graph.feature_dim], DegreeAwareConfig())
+
+
+class TestDegreeQuantizer:
+    def test_protection_grows_with_degree(self, graph):
+        q = DegreeQuantizer(graph, DegreeQuantConfig(p_min=0.0, p_max=0.5))
+        degs = graph.in_degrees
+        assert q.protect_prob[degs.argmax()] > q.protect_prob[degs.argmin()]
+
+    def test_inference_fully_quantized(self, graph):
+        q = DegreeQuantizer(graph, DegreeQuantConfig(bits=4))
+        q.training = False
+        x = Tensor(graph.features)
+        out = q.features(x, 0)
+        scale = q._feature_obs[0].scale(4)
+        codes = out.data / scale
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-3)
+
+    def test_training_mask_preserves_some_rows(self, graph):
+        q = DegreeQuantizer(graph, DegreeQuantConfig(bits=2, p_min=1.0, p_max=1.0))
+        q.training = True
+        x = Tensor(graph.features)
+        out = q.features(x, 0)
+        # With every node protected, output == input.
+        np.testing.assert_allclose(out.data, x.data, atol=1e-5)
+
+    def test_average_bits(self, graph):
+        q = DegreeQuantizer(graph, DegreeQuantConfig(bits=4))
+        assert q.average_bits() == 4.0
+        assert q.compression_ratio() == 8.0
+
+    def test_weight_bits_default_to_bits(self, graph):
+        q = DegreeQuantizer(graph, DegreeQuantConfig(bits=6))
+        assert q._wbits == 6
+
+
+class TestUniformQuantizer:
+    def test_node_bitwidths_uniform(self, graph):
+        q = UniformQuantizer(graph, UniformQuantConfig(bits=8))
+        assert (q.node_bitwidths(0) == 8).all()
+
+    def test_feature_roundtrip_accuracy_8bit(self, graph):
+        q = UniformQuantizer(graph, UniformQuantConfig(bits=8))
+        x = Tensor(graph.features)
+        out = q.features(x, 0)
+        err = np.abs(out.data - x.data).max()
+        assert err <= q._feature_obs[0].scale(8) / 2 + 1e-6

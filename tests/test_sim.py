@@ -1,0 +1,170 @@
+"""Tests for the simulation substrate: DRAM, buffers, energy, locality."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_dataset
+from repro.graphs.partition import partition_graph
+from repro.sim import (
+    BufferSet,
+    BufferSpec,
+    DramConfig,
+    DramModel,
+    DramTraffic,
+    EnergyBreakdown,
+    EnergyConstants,
+)
+from repro.sim.locality import aggregation_locality_traffic, cross_subgraph_pairs
+
+
+class TestDram:
+    def test_sequential_rounds_up_once(self):
+        dram = DramModel()
+        t = dram.sequential_access(130)
+        assert t.transactions == 2
+        assert t.transferred_bytes == 256
+        assert t.useful_bytes == 130
+
+    def test_random_pays_per_access(self):
+        dram = DramModel()
+        t = dram.random_access(10, 64)
+        assert t.transactions == 10
+        assert t.utilization == pytest.approx(0.5)
+
+    def test_random_large_feature_multiple_transactions(self):
+        dram = DramModel()
+        t = dram.random_access(3, 512)
+        assert t.transactions == 12
+
+    def test_cycles_at_bandwidth(self):
+        dram = DramModel(DramConfig(bandwidth_gb_s=256.0))
+        t = dram.sequential_access(256 * 100)
+        assert dram.cycles(t) == pytest.approx(100.0)
+
+    def test_energy_scales_with_bits(self):
+        energy = EnergyConstants()
+        dram = DramModel(energy=energy)
+        t = dram.sequential_access(128)
+        assert dram.energy_pj(t) == pytest.approx(128 * 8 * energy.dram_pj_per_bit)
+
+    def test_traffic_addition_merges_purposes(self):
+        dram = DramModel()
+        a = dram.sequential_access(128, purpose="x")
+        b = dram.sequential_access(128, purpose="x")
+        c = a + b
+        assert c.by_purpose["x"] == 256
+        assert c.transactions == 2
+
+    def test_zero_bytes(self):
+        t = DramModel().sequential_access(0)
+        assert t.transactions == 0
+
+
+class TestBuffers:
+    def test_total_capacity(self):
+        buffers = BufferSet([BufferSpec("a", 64), BufferSpec("b", 32)])
+        assert buffers.total_kb == 96
+
+    def test_lookup_by_name(self):
+        buffers = BufferSet([BufferSpec("agg", 128)])
+        assert buffers["agg"].capacity_bytes == 128 * 1024
+
+    def test_nodes_fitting(self):
+        buffers = BufferSet([BufferSpec("agg", 1)])  # 1 KB
+        assert buffers.nodes_fitting("agg", 256) == 4
+
+    def test_access_energy_positive(self):
+        buffers = BufferSet([BufferSpec("a", 64)])
+        assert buffers.access_energy_pj(100, 100) > 0
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1, 2, 3, 4)
+        assert e.total_pj == 10
+
+    def test_add(self):
+        e = EnergyBreakdown(1, 1, 1, 1) + EnergyBreakdown(2, 2, 2, 2)
+        assert e.dram_pj == 3
+
+    def test_fractions_sum_to_one(self):
+        e = EnergyBreakdown(1, 2, 3, 4)
+        assert sum(e.fractions().values()) == pytest.approx(1.0)
+
+    def test_int_mac_energy_below_fp32(self):
+        c = EnergyConstants()
+        assert c.int_mac_pj(4, 4) < c.fp32_mac_pj
+
+
+class TestLocality:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = load_dataset("cora", scale="tiny")
+        parts = partition_graph(graph.adjacency, 4, seed=0).parts
+        return graph, parts, DramModel()
+
+    def test_unknown_strategy_raises(self, setup):
+        graph, parts, dram = setup
+        with pytest.raises(ValueError):
+            aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="quantum")
+
+    def test_condense_cross_leq_gcod_leq_metis(self, setup):
+        """The Fig. 20(b) ordering: condense < gcod <= metis."""
+        graph, parts, dram = setup
+        results = {}
+        for strategy in ("metis", "gcod", "condense"):
+            t = aggregation_locality_traffic(
+                graph.adjacency, 64, dram, strategy=strategy, parts=parts)
+            results[strategy] = t.cross.transferred_bytes
+        assert results["gcod"] <= results["metis"]
+        assert results["condense"] <= results["gcod"]
+
+    def test_condense_full_utilization(self, setup):
+        graph, parts, dram = setup
+        # Force DRAM spilling (sparse buffer disabled) to observe the
+        # contiguous-read utilization of the reordered features.
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="condense", parts=parts,
+                                         sparse_buffer_bytes=0)
+        assert t.cross.utilization > 0.45  # contiguous reads
+
+    def test_condense_small_graph_stays_on_chip(self, setup):
+        graph, parts, dram = setup
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="condense", parts=parts)
+        # The tiny graph's cross features fit the 32 KB Sparse Buffer.
+        assert t.cross.transferred_bytes == 0
+
+    def test_metis_half_utilization_small_features(self, setup):
+        graph, parts, dram = setup
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="metis", parts=parts)
+        assert t.cross.utilization == pytest.approx(0.5)
+
+    def test_naive_uses_contiguous_tiles(self, setup):
+        graph, _, dram = setup
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="naive", buffer_nodes=32)
+        assert t.cross.transferred_bytes > 0
+        assert t.reorder_writes.transferred_bytes == 0
+
+    def test_condense_accounts_reorder_writes(self, setup):
+        graph, parts, dram = setup
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="condense", parts=parts,
+                                         sparse_buffer_bytes=0)
+        assert t.reorder_writes.useful_bytes == t.cross.useful_bytes
+
+    def test_cross_pairs_counts(self, setup):
+        graph, parts, _ = setup
+        pairs, edges, sources = cross_subgraph_pairs(graph.adjacency, parts)
+        assert pairs <= edges
+        assert sources <= pairs
+
+    def test_single_part_no_cross(self, setup):
+        graph, _, dram = setup
+        parts = np.zeros(graph.num_nodes, dtype=np.int64)
+        t = aggregation_locality_traffic(graph.adjacency, 64, dram,
+                                         strategy="condense", parts=parts)
+        assert t.cross.transferred_bytes == 0
