@@ -12,13 +12,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..baselines import build_baseline
-from ..graphs import load_dataset
 from ..mega import MegaModel
+from ..perf.cache import cached_load_dataset, cached_partition
 from ..sim.accelerator import SimReport
 from ..sim.dram import DramModel
 from ..sim.locality import aggregation_locality_traffic
 from ..sim.workload import Workload, build_workload
-from ..graphs.partition import partition_graph
 from .reporting import geomean
 
 __all__ = [
@@ -57,13 +56,10 @@ BASELINE_NAMES = ("hygcn", "gcnax", "grow", "sgcn")
 
 _WORKLOAD_CACHE: Dict[Tuple[str, str, str], Workload] = {}
 _SIM_CACHE: Dict[Tuple[str, str, str, str], SimReport] = {}
-_GRAPH_CACHE: Dict[str, object] = {}
 
 
 def _sim_graph(dataset: str):
-    if dataset not in _GRAPH_CACHE:
-        _GRAPH_CACHE[dataset] = load_dataset(dataset, scale="sim")
-    return _GRAPH_CACHE[dataset]
+    return cached_load_dataset(dataset, scale="sim")
 
 
 def get_workload(dataset: str, model: str, precision: str) -> Workload:
@@ -198,8 +194,8 @@ def locality_study(dataset: str = "cora", feature_dim: int = 128,
     buffer_nodes = max(int(128 * 1024 / (feature_dim * 2.0)), 1)
     if num_parts is None:
         num_parts = max(int(np.ceil(graph.num_nodes / buffer_nodes)), 2)
-    parts = partition_graph(graph.adjacency, num_parts, seed=0,
-                            refine_passes=1).parts
+    parts = cached_partition(graph.adjacency, num_parts, seed=0,
+                             refine_passes=1).parts
     out: Dict[str, Dict[str, float]] = {}
     for strategy in strategies:
         traffic = aggregation_locality_traffic(

@@ -22,8 +22,8 @@ is emitted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -87,20 +87,88 @@ class Package:
         return self.total_bits(config) - self.used_bits()
 
 
-@dataclass
 class AdaptivePackageEncoded:
-    """Full encoded feature map: package stream + bitmap index."""
+    """Full encoded feature map: package stream + bitmap index.
 
-    packages: List[Package]
-    bitmap: np.ndarray              # (N, F) bool non-zero locations
-    bits_per_node: np.ndarray
-    config: PackageConfig
-    signs: Optional[np.ndarray] = None  # sign bitmap over non-zeros, if any negative
+    Two internal layouts are supported:
+
+    - a materialized ``List[Package]`` (how the seed encoder built it);
+    - a structure-of-arrays view (one contiguous non-zero value stream
+      plus per-package mode/bitwidth/offset arrays) produced by the
+      vectorized encoder via :meth:`from_stream`.
+
+    The SoA layout keeps ``report()`` and decoding fully vectorized;
+    ``packages`` materializes the equivalent ``Package`` objects lazily
+    on first access, so consumers of the object-per-package API see no
+    difference.
+    """
+
+    def __init__(self, packages: Optional[List[Package]], bitmap: np.ndarray,
+                 bits_per_node: np.ndarray, config: PackageConfig,
+                 signs: Optional[np.ndarray] = None) -> None:
+        self._packages = packages
+        self.bitmap = bitmap            # (N, F) bool non-zero locations
+        self.bits_per_node = bits_per_node
+        self.config = config
+        self.signs = signs              # sign bitmap over non-zeros, if any negative
+        self._stream: Optional[np.ndarray] = None
+        self._pkg_modes: Optional[np.ndarray] = None
+        self._pkg_bitwidths: Optional[np.ndarray] = None
+        self._pkg_offsets: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_stream(cls, stream: np.ndarray, pkg_modes: np.ndarray,
+                    pkg_bitwidths: np.ndarray, pkg_offsets: np.ndarray,
+                    bitmap: np.ndarray, bits_per_node: np.ndarray,
+                    config: PackageConfig,
+                    signs: Optional[np.ndarray] = None) -> "AdaptivePackageEncoded":
+        """Build from the SoA layout: ``pkg_offsets`` has one more entry
+        than there are packages; package ``i`` holds
+        ``stream[pkg_offsets[i]:pkg_offsets[i + 1]]``."""
+        obj = cls(None, bitmap, bits_per_node, config, signs=signs)
+        obj._stream = stream
+        obj._pkg_modes = pkg_modes
+        obj._pkg_bitwidths = pkg_bitwidths
+        obj._pkg_offsets = pkg_offsets
+        return obj
+
+    @property
+    def packages(self) -> List[Package]:
+        if self._packages is None:
+            offsets = self._pkg_offsets
+            self._packages = [
+                Package(mode, bw, self._stream[start:stop])
+                for mode, bw, start, stop in zip(
+                    self._pkg_modes.tolist(), self._pkg_bitwidths.tolist(),
+                    offsets[:-1].tolist(), offsets[1:].tolist())
+            ]
+        return self._packages
+
+    def value_stream(self) -> np.ndarray:
+        """All packed non-zero values, in package order."""
+        if self._stream is not None:
+            return self._stream
+        if self._packages:
+            return np.concatenate([p.values for p in self._packages])
+        return np.zeros(0, dtype=np.int64)
+
+    def _package_stats(self):
+        """(modes, bitwidths, value counts) arrays of the packages."""
+        if self._pkg_modes is not None:
+            return (self._pkg_modes, self._pkg_bitwidths,
+                    np.diff(self._pkg_offsets))
+        modes = np.array([p.mode for p in self._packages], dtype=np.int64)
+        bws = np.array([p.bitwidth for p in self._packages], dtype=np.int64)
+        counts = np.array([len(p.values) for p in self._packages], dtype=np.int64)
+        return modes, bws, counts
 
     def report(self) -> FormatReport:
-        package_bits = sum(p.total_bits(self.config) for p in self.packages)
-        padding = sum(p.padding_bits(self.config) for p in self.packages)
-        headers = HEADER_BITS * len(self.packages)
+        modes, bws, counts = self._package_stats()
+        lengths = np.asarray(self.config.lengths, dtype=np.int64)
+        package_bits = int(lengths[modes].sum()) if len(modes) else 0
+        used_bits = HEADER_BITS * len(modes) + int((counts * bws).sum())
+        padding = package_bits - used_bits
+        headers = HEADER_BITS * len(modes)
         n, f = self.bitmap.shape
         index_bits = int(node_index_bits(self.bitmap.sum(axis=1), f).sum())
         return FormatReport(
@@ -116,7 +184,9 @@ class AdaptivePackageEncoded:
 
     @property
     def num_packages(self) -> int:
-        return len(self.packages)
+        if self._pkg_modes is not None:
+            return len(self._pkg_modes)
+        return len(self._packages)
 
 
 class AdaptivePackageFormat(SparseFormat):
@@ -129,49 +199,87 @@ class AdaptivePackageFormat(SparseFormat):
 
     # ------------------------------------------------------------------
     def encode(self, values: np.ndarray, bits_per_node: np.ndarray) -> AdaptivePackageEncoded:
+        """Vectorized run-length + cumsum encoder.
+
+        The greedy register of Sec. V-D is deterministic: within each
+        maximal run of consecutive nodes sharing a bitwidth ``b`` it
+        emits a full long package every ``capacity(long, b)`` non-zeros
+        and flushes the remainder (at the smallest fitting mode) when
+        the bitwidth changes.  That lets the whole package stream be
+        derived with array ops — one cumsum over per-node non-zero
+        counts plus one slice per emitted package — instead of
+        appending non-zeros to a Python list one at a time.  Output is
+        bit-identical to the seed loop (kept as
+        :func:`repro.perf.reference.encode_adaptive_package_reference`).
+        """
         self._validate(values, bits_per_node)
         values = np.asarray(values, dtype=np.int64)
         bits = np.asarray(bits_per_node, dtype=np.int64)
         bitmap = values != 0
-
-        packages: List[Package] = []
-        register: List[int] = []
-        current_bits = None
         cfg = self.config
 
-        def flush() -> None:
-            if not register:
-                return
-            mode = cfg.smallest_mode_for(len(register), current_bits)
-            packages.append(Package(mode, int(current_bits),
-                                    np.asarray(register, dtype=np.int64)))
-            register.clear()
+        n = values.shape[0]
+        # Row-major non-zero stream: the exact order the greedy register
+        # consumes values in.  A flat 1-D gather beats 2-D np.nonzero.
+        flat_idx = np.flatnonzero(bitmap)
+        stream = values.ravel()[flat_idx]
+        if len(flat_idx):
+            nnz = np.bincount(flat_idx // values.shape[1],
+                              minlength=n).astype(np.int64)
+        else:
+            nnz = np.zeros(n, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(nnz)])
 
-        for node in range(values.shape[0]):
-            b = int(bits[node])
-            if current_bits is not None and b != current_bits:
-                flush()
-            current_bits = b
-            nonzeros = values[node][bitmap[node]]
-            long_cap = cfg.capacity(2, b)
-            for value in nonzeros:
-                register.append(int(value))
-                if len(register) >= long_cap:
-                    packages.append(Package(2, b, np.asarray(register, dtype=np.int64)))
-                    register.clear()
-        flush()
+        # Maximal runs of equal bitwidth == register lifetimes.
+        run_starts = np.concatenate([[0], np.nonzero(np.diff(bits))[0] + 1]) \
+            if n else np.zeros(0, dtype=np.int64)
+        run_stops = np.concatenate([run_starts[1:], [n]]) if n else run_starts
+        run_bits = bits[run_starts] if n else run_starts
+        run_begin = offsets[run_starts] if n else run_starts
+        run_total = (offsets[run_stops] - run_begin) if n else run_starts
 
-        negatives = values < 0
-        signs = negatives[bitmap] if negatives.any() else None
-        return AdaptivePackageEncoded(packages, bitmap, bits.copy(), cfg, signs=signs)
+        if n and len(stream):
+            # A degenerate config whose long payload holds zero values
+            # behaves like capacity 1 (the seed register emits after
+            # every append); clamp so the arithmetic below matches.
+            long_cap = np.maximum(cfg.payload_bits(2) // run_bits, 1)
+            full_longs = run_total // long_cap
+            remainder = run_total - full_longs * long_cap
+            per_run = full_longs + (remainder > 0)
+
+            pkg_run = np.repeat(np.arange(len(run_starts)), per_run)
+            first_pkg = np.concatenate([[0], np.cumsum(per_run)])[:-1]
+            ordinal = np.arange(len(pkg_run)) - first_pkg[pkg_run]
+            pkg_start = run_begin[pkg_run] + ordinal * long_cap[pkg_run]
+            pkg_len = np.minimum(pkg_start + long_cap[pkg_run],
+                                 (run_begin + run_total)[pkg_run]) - pkg_start
+            pkg_bits = run_bits[pkg_run]
+
+            # Full registers always emit the long mode; remainders take
+            # the smallest mode whose capacity fits.
+            cap0 = cfg.payload_bits(0) // pkg_bits
+            cap1 = cfg.payload_bits(1) // pkg_bits
+            pkg_mode = np.where(pkg_len <= cap0, 0, np.where(pkg_len <= cap1, 1, 2))
+            pkg_mode = np.where(pkg_len == long_cap[pkg_run], 2, pkg_mode)
+            # Packages tile the stream contiguously, so starts + the
+            # stream length form the offset array.
+            pkg_offsets = np.concatenate([pkg_start, [len(stream)]])
+        else:
+            pkg_mode = pkg_bits = np.zeros(0, dtype=np.int64)
+            pkg_offsets = np.zeros(1, dtype=np.int64)
+
+        # Zeros are never negative, so the sign bitmap over non-zeros is
+        # exactly the sign of the stream (one pass over nnz values
+        # instead of the full matrix).
+        neg_stream = stream < 0
+        signs = neg_stream if neg_stream.any() else None
+        return AdaptivePackageEncoded.from_stream(
+            stream, pkg_mode, pkg_bits, pkg_offsets,
+            bitmap, bits.copy(), cfg, signs=signs)
 
     def decode(self, encoded: AdaptivePackageEncoded) -> np.ndarray:
-        if encoded.packages:
-            stream = np.concatenate([p.values for p in encoded.packages])
-        else:
-            stream = np.zeros(0, dtype=np.int64)
         out = np.zeros(encoded.bitmap.shape, dtype=np.int64)
-        out[encoded.bitmap] = stream
+        out[encoded.bitmap] = encoded.value_stream()
         return out
 
     # ------------------------------------------------------------------

@@ -132,9 +132,9 @@ class CsrFormat(SparseFormat):
 
     def decode(self, encoded) -> np.ndarray:
         out = np.zeros(encoded.shape, dtype=np.int64)
-        for row in range(encoded.shape[0]):
-            start, stop = encoded.indptr[row], encoded.indptr[row + 1]
-            out[row, encoded.indices[start:stop]] = encoded.data[start:stop]
+        indptr = np.asarray(encoded.indptr)
+        row_of = np.repeat(np.arange(encoded.shape[0]), np.diff(indptr))
+        out[row_of, encoded.indices] = encoded.data
         return out
 
     def measure(self, nnz_per_node, bits_per_node, feature_dim) -> FormatReport:

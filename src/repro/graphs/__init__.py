@@ -1,10 +1,11 @@
 """Graph substrate: containers, synthetic datasets, partitioning, statistics."""
 
-from . import datasets, generators, partition, statistics
+from . import datasets, generators, partition, sparse_utils, statistics
 from .datasets import DATASETS, load_dataset, paper_stats, sim_feature_stats
 from .generators import community_graph, power_law_degrees, sparse_features, synthetic_graph
 from .graph import Graph
 from .partition import PartitionResult, edge_cut, partition_graph, sparse_connection_edges
+from .sparse_utils import coo_view, cross_edge_mask, sample_adjacency
 
 __all__ = [
     "Graph",
@@ -20,6 +21,10 @@ __all__ = [
     "PartitionResult",
     "edge_cut",
     "sparse_connection_edges",
+    "coo_view",
+    "cross_edge_mask",
+    "sample_adjacency",
+    "sparse_utils",
     "datasets",
     "generators",
     "partition",

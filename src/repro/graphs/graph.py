@@ -16,6 +16,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from .sparse_utils import coo_view, sample_adjacency
+
 __all__ = ["Graph"]
 
 
@@ -80,7 +82,9 @@ class Graph:
 
     @property
     def num_classes(self) -> int:
-        return int(self.labels.max()) + 1
+        if "num_classes" not in self._cache:
+            self._cache["num_classes"] = int(self.labels.max()) + 1
+        return self._cache["num_classes"]
 
     @property
     def in_degrees(self) -> np.ndarray:
@@ -109,7 +113,10 @@ class Graph:
 
     def feature_density(self) -> float:
         """Fraction of non-zero entries in ``X`` (paper Fig. 5 input)."""
-        return float(np.count_nonzero(self.features)) / self.features.size
+        if "feature_density" not in self._cache:
+            self._cache["feature_density"] = (
+                float(np.count_nonzero(self.features)) / self.features.size)
+        return self._cache["feature_density"]
 
     # ------------------------------------------------------------------
     # Aggregation operators
@@ -174,18 +181,7 @@ class Graph:
     ) -> "Graph":
         """GraphSAGE-style neighbor sampling: keep at most ``max_neighbors``
         incoming edges per node (paper Table III samples 25)."""
-        rng = rng or np.random.default_rng(0)
-        adj = self.adjacency.tocsr()
-        indptr, indices = adj.indptr, adj.indices
-        rows, cols = [], []
-        for dst in range(self.num_nodes):
-            neigh = indices[indptr[dst]:indptr[dst + 1]]
-            if len(neigh) > max_neighbors:
-                neigh = rng.choice(neigh, size=max_neighbors, replace=False)
-            rows.extend([dst] * len(neigh))
-            cols.extend(neigh.tolist())
-        data = np.ones(len(rows), dtype=np.float32)
-        sampled = sp.csr_matrix((data, (rows, cols)), shape=adj.shape)
+        sampled = sample_adjacency(self.adjacency, max_neighbors, rng=rng)
         return Graph(
             adjacency=sampled,
             features=self.features,
@@ -198,7 +194,7 @@ class Graph:
 
     def edge_list(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return (dst, src) arrays of the directed edge list."""
-        coo = self.adjacency.tocoo()
+        coo = coo_view(self.adjacency)
         return coo.row.astype(np.int64), coo.col.astype(np.int64)
 
     def reorder(self, permutation: np.ndarray) -> "Graph":

@@ -22,6 +22,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from .sparse_utils import cross_edge_mask, cross_edges
+
 __all__ = [
     "partition_graph",
     "PartitionResult",
@@ -114,8 +116,7 @@ def partition_graph(
 
 def edge_cut(adjacency: sp.spmatrix, parts: np.ndarray) -> int:
     """Number of edges whose endpoints lie in different parts."""
-    coo = adjacency.tocoo()
-    return int(np.count_nonzero(parts[coo.row] != parts[coo.col]))
+    return int(np.count_nonzero(cross_edge_mask(adjacency, parts)))
 
 
 def sparse_connection_edges(
@@ -126,9 +127,7 @@ def sparse_connection_edges(
     These are the "sparse connections" of Sec. III-B / V-E: edges whose
     source node lives in a different subgraph than their destination.
     """
-    coo = adjacency.tocoo()
-    cross = parts[coo.row] != parts[coo.col]
-    return coo.row[cross].astype(np.int64), coo.col[cross].astype(np.int64)
+    return cross_edges(adjacency, parts)
 
 
 def partition_quality(adjacency: sp.spmatrix, parts: np.ndarray) -> dict:

@@ -20,13 +20,12 @@ configurations of Fig. 19.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..formats import AdaptivePackageFormat, BitmapFormat
-from ..graphs.partition import partition_graph
+from ..perf.cache import cached_partition
 from ..sim import DramModel, DramTraffic
 from ..sim.accelerator import AcceleratorModel, LayerCost
 from ..sim.locality import aggregation_locality_traffic
@@ -35,16 +34,6 @@ from .condense import choose_num_parts
 from .config import MegaConfig, mega_buffers
 
 __all__ = ["MegaModel"]
-
-_PARTITION_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
-
-
-def _cached_partition(adjacency, num_parts: int, workload_key: int) -> np.ndarray:
-    key = (workload_key, num_parts)
-    if key not in _PARTITION_CACHE:
-        result = partition_graph(adjacency, num_parts, seed=0, refine_passes=1)
-        _PARTITION_CACHE[key] = result.parts
-    return _PARTITION_CACHE[key]
 
 
 class MegaModel(AcceleratorModel):
@@ -114,7 +103,10 @@ class MegaModel(AcceleratorModel):
         num_parts = choose_num_parts(n, f_out, agg_buffer, cfg.psum_bits)
         parts = None
         if self.partition and num_parts > 1:
-            parts = _cached_partition(adjacency, num_parts, id(workload))
+            # Content-keyed memoization: workloads sharing one adjacency
+            # (every layer, every precision variant) hit the same entry.
+            parts = cached_partition(adjacency, num_parts, seed=0,
+                                     refine_passes=1).parts
         strategy = "condense" if self.condense else ("metis" if parts is not None else "naive")
         buffer_nodes = max(int(agg_buffer / (f_out * cfg.psum_bits / 8.0)), 1)
         agg_traffic = aggregation_locality_traffic(

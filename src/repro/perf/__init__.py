@@ -1,0 +1,39 @@
+"""Performance subsystem: content-keyed caches, timers and the kernel
+benchmark runner.
+
+- :mod:`repro.perf.cache` memoizes expensive graph-derived artifacts
+  (partitions, normalized adjacencies, loaded datasets) keyed by the
+  *content* of the inputs, so repeated experiment sweeps stop
+  recomputing them per call site;
+- :mod:`repro.perf.timers` provides the lightweight wall-clock timers
+  and counters the benchmark runner is built on;
+- :mod:`repro.perf.reference` preserves the original (seed) pure-Python
+  implementations of the vectorized hot kernels, used as equivalence
+  and speedup baselines;
+- ``python -m repro.perf.bench`` times the hot kernels on synthetic
+  graphs and writes ``BENCH_repro.json``, the repo's perf trajectory.
+"""
+
+from .cache import (
+    ContentCache,
+    cache_stats,
+    cached_load_dataset,
+    cached_normalized_adjacency,
+    cached_partition,
+    clear_all_caches,
+    graph_fingerprint,
+)
+from .timers import Timer, TimingStats, time_callable
+
+__all__ = [
+    "ContentCache",
+    "Timer",
+    "TimingStats",
+    "cache_stats",
+    "cached_load_dataset",
+    "cached_normalized_adjacency",
+    "cached_partition",
+    "clear_all_caches",
+    "graph_fingerprint",
+    "time_callable",
+]

@@ -1,0 +1,246 @@
+"""Hot-kernel benchmark runner: ``python -m repro.perf.bench``.
+
+Times the vectorized hot kernels against the seed reference
+implementations on synthetic graphs of increasing size and writes the
+results to ``BENCH_repro.json``, seeding the repo's performance
+trajectory.  Kernels covered:
+
+- ``adaptive_package_encode`` — vectorized vs seed greedy encoder;
+- ``condense_run`` — O(N+E) vs seed O(N*P) ``CondenseUnit.run`` (both
+  units are constructed outside the timed region, so the numbers
+  isolate the streaming loop itself);
+- ``sample_neighbors`` — vectorized vs per-node sampling;
+- ``csr_decode`` — vectorized vs per-row CSR decode;
+- ``partition_graph`` — cold vs content-cache-hit timings of
+  :func:`repro.perf.cached_partition`.
+
+``--quick`` restricts the sweep to the small size (used by CI smoke
+runs); the default sweep ends at the ~50k-node / ~500k-edge graph the
+acceptance criteria are stated against.  Reference implementations are
+timed with a single repeat (they are the slow side by construction);
+vectorized kernels report best-of-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy
+
+from ..formats import AdaptivePackageFormat, CsrFormat
+from ..graphs import sample_adjacency, synthetic_graph
+from ..mega import CondenseUnit
+from .cache import PARTITION_CACHE, cached_partition, clear_all_caches
+from .reference import (
+    CondenseUnitReference,
+    csr_decode_reference,
+    encode_adaptive_package_reference,
+    sample_neighbors_reference,
+)
+from .timers import Timer, time_callable
+
+__all__ = ["BENCH_SIZES", "run_benchmarks", "main"]
+
+# name -> (num_nodes, num_edges, feature_dim, num_parts)
+BENCH_SIZES: Dict[str, tuple] = {
+    "tiny": (500, 2_500, 32, 8),
+    "small": (2_000, 10_000, 64, 8),
+    "medium": (10_000, 100_000, 64, 24),
+    "large": (50_000, 500_000, 64, 64),
+}
+
+_FEATURE_DENSITY = 0.3
+_BIT_CHOICES = (2, 3, 4, 8)
+
+
+def _bench_inputs(size: str, seed: int = 0):
+    """Graph + quantized feature matrix + per-node bitwidths for one size."""
+    nodes, edges, fdim, num_parts = BENCH_SIZES[size]
+    graph = synthetic_graph(nodes, edges, 16, 8, seed=seed,
+                            name=f"bench-{size}")
+    rng = np.random.default_rng(seed)
+    bits = rng.choice(_BIT_CHOICES, size=nodes).astype(np.int64)
+    values = (rng.integers(1, 200, size=(nodes, fdim))
+              * (rng.random((nodes, fdim)) < _FEATURE_DENSITY)).astype(np.int64)
+    values = np.minimum(values, (2 ** bits - 1)[:, None])
+    return graph, values, bits, num_parts
+
+
+def _speedup(reference_s: float, fast_s: float) -> float:
+    return reference_s / fast_s if fast_s > 0 else float("inf")
+
+
+def _bench_encode(values, bits, repeats: int, check: bool) -> dict:
+    fmt = AdaptivePackageFormat()
+    fast = time_callable(lambda: fmt.encode(values, bits), repeats=repeats)
+    with Timer() as ref:
+        reference = encode_adaptive_package_reference(values, bits)
+    if check:
+        encoded = fmt.encode(values, bits)
+        assert encoded.num_packages == reference.num_packages
+        assert encoded.report().breakdown == reference.report().breakdown
+        assert np.array_equal(fmt.decode(encoded), values)
+    return {"fast": fast.as_dict(), "reference_s": ref.elapsed,
+            "speedup": _speedup(ref.elapsed, fast.best_s)}
+
+
+def _bench_condense(graph, parts, repeats: int, check: bool) -> dict:
+    # Constructions (FIFO seeding) happen outside the timed region for
+    # both implementations: the kernel under test is the node stream.
+    runs = []
+    for _ in range(repeats):
+        unit = CondenseUnit(graph.adjacency, parts)
+        with Timer() as t:
+            unit.run()
+        runs.append(t.elapsed)
+    reference_unit = CondenseUnitReference(graph.adjacency, parts)
+    with Timer() as ref:
+        reference_unit.run()
+    if check:
+        fast_unit = CondenseUnit(graph.adjacency, parts)
+        assert fast_unit.run() == reference_unit.sparse_buffer
+        assert fast_unit.comparisons == reference_unit.comparisons
+        assert fast_unit.matches == reference_unit.matches
+    best = min(runs)
+    return {"fast": {"best_s": best, "mean_s": sum(runs) / len(runs),
+                     "repeats": repeats},
+            "reference_s": ref.elapsed,
+            "speedup": _speedup(ref.elapsed, best)}
+
+
+def _bench_sample(graph, repeats: int, check: bool, max_neighbors: int = 25) -> dict:
+    # Compare adjacency-to-adjacency (the reference never builds a Graph).
+    fast = time_callable(
+        lambda: sample_adjacency(graph.adjacency, max_neighbors,
+                                 rng=np.random.default_rng(0)),
+        repeats=repeats)
+    with Timer() as ref:
+        sample_neighbors_reference(graph.adjacency, max_neighbors,
+                                   rng=np.random.default_rng(0))
+    if check:
+        sampled = sample_adjacency(graph.adjacency, max_neighbors)
+        row_nnz = np.diff(sampled.indptr)
+        assert row_nnz.max() <= max_neighbors
+        assert np.array_equal(
+            row_nnz, np.minimum(np.diff(graph.adjacency.tocsr().indptr),
+                                max_neighbors))
+    return {"fast": fast.as_dict(), "reference_s": ref.elapsed,
+            "speedup": _speedup(ref.elapsed, fast.best_s)}
+
+
+def _bench_csr_decode(values, bits, repeats: int, check: bool) -> dict:
+    fmt = CsrFormat()
+    encoded = fmt.encode(values, bits)
+    fast = time_callable(lambda: fmt.decode(encoded), repeats=repeats)
+    with Timer() as ref:
+        reference = csr_decode_reference(encoded)
+    if check:
+        assert np.array_equal(fmt.decode(encoded), reference)
+    return {"fast": fast.as_dict(), "reference_s": ref.elapsed,
+            "speedup": _speedup(ref.elapsed, fast.best_s)}
+
+
+def _bench_partition(graph, num_parts: int) -> dict:
+    PARTITION_CACHE.clear()
+    with Timer() as cold:
+        cached_partition(graph.adjacency, num_parts, refine_passes=1)
+    with Timer() as warm:
+        cached_partition(graph.adjacency, num_parts, refine_passes=1)
+    return {"cold_s": cold.elapsed, "warm_s": warm.elapsed,
+            "speedup": _speedup(cold.elapsed, warm.elapsed),
+            "cache": PARTITION_CACHE.stats()}
+
+
+def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
+                   check: bool = True, seed: int = 0) -> dict:
+    """Time every hot kernel on each requested size; returns the report
+    dict that ``main`` serializes to ``BENCH_repro.json``."""
+    sizes = list(sizes or ("small", "medium", "large"))
+    unknown = set(sizes) - set(BENCH_SIZES)
+    if unknown:
+        raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
+    report = {
+        "schema": "repro.perf.bench/v1",
+        "machine": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "platform": platform.platform(),
+        },
+        "sizes": {s: dict(zip(("nodes", "edges", "feature_dim", "num_parts"),
+                              BENCH_SIZES[s])) for s in sizes},
+        "kernels": {},
+    }
+    kernels: Dict[str, Dict[str, dict]] = {
+        "adaptive_package_encode": {}, "condense_run": {},
+        "sample_neighbors": {}, "csr_decode": {}, "partition_graph": {},
+    }
+    for size in sizes:
+        graph, values, bits, num_parts = _bench_inputs(size, seed=seed)
+        parts = cached_partition(graph.adjacency, num_parts,
+                                 refine_passes=1).parts
+        kernels["adaptive_package_encode"][size] = _bench_encode(
+            values, bits, repeats, check)
+        kernels["condense_run"][size] = _bench_condense(
+            graph, parts, repeats, check)
+        kernels["sample_neighbors"][size] = _bench_sample(
+            graph, repeats, check)
+        kernels["csr_decode"][size] = _bench_csr_decode(
+            values, bits, repeats, check)
+        kernels["partition_graph"][size] = _bench_partition(graph, num_parts)
+    report["kernels"] = kernels
+    return report
+
+
+def _print_summary(report: dict) -> None:
+    print(f"{'kernel':<26} {'size':<8} {'fast':>10} {'reference':>10} {'speedup':>8}")
+    for kernel, per_size in report["kernels"].items():
+        for size, row in per_size.items():
+            if "fast" in row:
+                fast, ref = row["fast"]["best_s"], row["reference_s"]
+            else:  # partition: cold vs cached
+                fast, ref = row["warm_s"], row["cold_s"]
+            print(f"{kernel:<26} {size:<8} {fast * 1e3:>8.2f}ms "
+                  f"{ref * 1e3:>8.2f}ms {row['speedup']:>7.1f}x")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Benchmark the vectorized hot kernels vs their seed "
+                    "reference implementations.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small size only (CI smoke run)")
+    parser.add_argument("--sizes", nargs="+", choices=sorted(BENCH_SIZES),
+                        help="explicit size list (overrides --quick)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats for the vectorized kernels")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the equivalence assertions")
+    parser.add_argument("--output", default="BENCH_repro.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or (["small"] if args.quick else None)
+    try:  # fail on an unwritable output path before the sweep, not after
+        with open(args.output, "a"):
+            pass
+    except OSError as exc:
+        parser.error(f"cannot write --output {args.output!r}: {exc}")
+    clear_all_caches()
+    report = run_benchmarks(sizes=sizes, repeats=args.repeats,
+                            check=not args.no_check)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    _print_summary(report)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

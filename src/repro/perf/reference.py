@@ -1,0 +1,149 @@
+"""Seed (pre-vectorization) implementations of the hot kernels.
+
+These are the original pure-Python loops that
+:class:`~repro.formats.AdaptivePackageFormat.encode`,
+:class:`~repro.mega.CondenseUnit`, :meth:`~repro.graphs.Graph.sample_neighbors`
+and :meth:`~repro.formats.CsrFormat.decode` shipped with.  They are kept
+verbatim so that
+
+- the property-based equivalence tests can assert the vectorized
+  kernels produce bit-identical outputs, and
+- the benchmark runner (``python -m repro.perf.bench``) can report the
+  speedup of each vectorized kernel over its seed baseline.
+
+They are *not* used on any production code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..formats.adaptive_package import (
+    AdaptivePackageEncoded,
+    Package,
+    PackageConfig,
+)
+from ..mega.condense import sparse_connection_sources
+
+__all__ = [
+    "encode_adaptive_package_reference",
+    "CondenseUnitReference",
+    "sample_neighbors_reference",
+    "csr_decode_reference",
+]
+
+
+def encode_adaptive_package_reference(
+    values: np.ndarray,
+    bits_per_node: np.ndarray,
+    config: Optional[PackageConfig] = None,
+) -> AdaptivePackageEncoded:
+    """Seed greedy encoder: one Python-level append per non-zero."""
+    values = np.asarray(values, dtype=np.int64)
+    bits = np.asarray(bits_per_node, dtype=np.int64)
+    bitmap = values != 0
+    cfg = config or PackageConfig()
+
+    packages: List[Package] = []
+    register: List[int] = []
+    current_bits = None
+
+    def flush() -> None:
+        if not register:
+            return
+        mode = cfg.smallest_mode_for(len(register), current_bits)
+        packages.append(Package(mode, int(current_bits),
+                                np.asarray(register, dtype=np.int64)))
+        register.clear()
+
+    for node in range(values.shape[0]):
+        b = int(bits[node])
+        if current_bits is not None and b != current_bits:
+            flush()
+        current_bits = b
+        nonzeros = values[node][bitmap[node]]
+        long_cap = cfg.capacity(2, b)
+        for value in nonzeros:
+            register.append(int(value))
+            if len(register) >= long_cap:
+                packages.append(Package(2, b, np.asarray(register, dtype=np.int64)))
+                register.clear()
+    flush()
+
+    negatives = values < 0
+    signs = negatives[bitmap] if negatives.any() else None
+    return AdaptivePackageEncoded(packages, bitmap, bits.copy(), cfg, signs=signs)
+
+
+@dataclass
+class CondenseUnitReference:
+    """Seed step-by-step Condense-Edge simulation with O(n) ``pop(0)``
+    list FIFOs and a full FIFO scan per combined node."""
+
+    adjacency: sp.csr_matrix
+    parts: np.ndarray
+    fifo_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        self.num_parts = int(self.parts.max()) + 1 if len(self.parts) else 0
+        sources = sparse_connection_sources(self.adjacency, self.parts)
+        self._eid_fifos: List[List[int]] = [sources[p].tolist()
+                                            for p in range(self.num_parts)]
+        self.sparse_buffer: Dict[int, List[int]] = {p: [] for p in range(self.num_parts)}
+        self.address_list: List[int] = [0] * self.num_parts
+        self.matches = 0
+        self.comparisons = 0
+
+    def on_node_combined(self, node_id: int) -> List[int]:
+        stored_in: List[int] = []
+        for sub_id in range(self.num_parts):
+            fifo = self._eid_fifos[sub_id]
+            self.comparisons += 1
+            if fifo and fifo[0] == node_id:
+                fifo.pop(0)
+                self.sparse_buffer[sub_id].append(node_id)
+                self.address_list[sub_id] += 1
+                self.matches += 1
+                stored_in.append(sub_id)
+        return stored_in
+
+    def run(self) -> Dict[int, List[int]]:
+        for node in range(self.adjacency.shape[0]):
+            self.on_node_combined(node)
+        return self.sparse_buffer
+
+    def remaining_eids(self) -> int:
+        return sum(len(f) for f in self._eid_fifos)
+
+
+def sample_neighbors_reference(
+    adjacency: sp.spmatrix,
+    max_neighbors: int,
+    rng: Optional[np.random.Generator] = None,
+) -> sp.csr_matrix:
+    """Seed per-destination sampling loop (adjacency part only)."""
+    rng = rng or np.random.default_rng(0)
+    adj = adjacency.tocsr()
+    indptr, indices = adj.indptr, adj.indices
+    rows, cols = [], []
+    for dst in range(adj.shape[0]):
+        neigh = indices[indptr[dst]:indptr[dst + 1]]
+        if len(neigh) > max_neighbors:
+            neigh = rng.choice(neigh, size=max_neighbors, replace=False)
+        rows.extend([dst] * len(neigh))
+        cols.extend(neigh.tolist())
+    data = np.ones(len(rows), dtype=np.float32)
+    return sp.csr_matrix((data, (rows, cols)), shape=adj.shape)
+
+
+def csr_decode_reference(encoded) -> np.ndarray:
+    """Seed per-row CSR decode loop."""
+    out = np.zeros(encoded.shape, dtype=np.int64)
+    for row in range(encoded.shape[0]):
+        start, stop = encoded.indptr[row], encoded.indptr[row + 1]
+        out[row, encoded.indices[start:stop]] = encoded.data[start:stop]
+    return out

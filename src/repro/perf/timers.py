@@ -1,0 +1,57 @@
+"""Lightweight wall-clock timers for the kernel benchmark runner."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Timer", "TimingStats", "time_callable"]
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingStats:
+    """Repeated-run timings of one callable."""
+
+    runs: List[float] = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.runs) if self.runs else float("nan")
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.runs) / len(self.runs) if self.runs else float("nan")
+
+    def as_dict(self) -> dict:
+        return {"best_s": self.best_s, "mean_s": self.mean_s,
+                "repeats": len(self.runs)}
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3,
+                  warmup: int = 1) -> TimingStats:
+    """Best-of-``repeats`` wall-clock timing (after ``warmup`` calls)."""
+    for _ in range(warmup):
+        fn()
+    stats = TimingStats()
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        stats.runs.append(t.elapsed)
+    return stats

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ..graphs.sparse_utils import coo_view, cross_edge_mask
 from .dram import DramModel, DramTraffic
 
 __all__ = ["AggregationTraffic", "aggregation_locality_traffic", "cross_subgraph_pairs"]
@@ -52,8 +53,8 @@ def cross_subgraph_pairs(adjacency: sp.csr_matrix, parts: np.ndarray):
 
     Returns ``(num_unique_pairs, num_cross_edges, unique_sources)``.
     """
-    coo = adjacency.tocoo()
-    cross = parts[coo.row] != parts[coo.col]
+    coo = coo_view(adjacency)
+    cross = cross_edge_mask(adjacency, parts)
     dst_part = parts[coo.row[cross]].astype(np.int64)
     src = coo.col[cross].astype(np.int64)
     if len(src) == 0:
@@ -102,8 +103,8 @@ def aggregation_locality_traffic(
     else:
         tiles = np.asarray(parts, dtype=np.int64)
 
-    coo = adjacency.tocoo()
-    cross_mask = tiles[coo.row] != tiles[coo.col]
+    coo = coo_view(adjacency)
+    cross_mask = cross_edge_mask(adjacency, tiles)
     num_cross_edges = int(cross_mask.sum())
 
     # Internal traffic: combined features are written once, and each

@@ -1,0 +1,297 @@
+"""Equivalence of the vectorized hot kernels vs the seed references,
+plus the repro.perf cache/timer/bench subsystem itself.
+
+The Adaptive-Package encoder, CondenseUnit and CSR decode must be
+*bit-identical* to the seed pure-Python loops preserved in
+:mod:`repro.perf.reference` — same package stream, same Sparse Buffer
+layout, same hardware counters.  Neighbor sampling is held to
+distributional equivalence (uniform without replacement, same per-row
+counts): it consumes the RNG differently than the seed loop, so the
+drawn edge set for a given seed legitimately differs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import AdaptivePackageFormat, CsrFormat, PackageConfig
+from repro.graphs import (
+    coo_view,
+    cross_edge_mask,
+    partition_graph,
+    synthetic_graph,
+)
+from repro.mega import CondenseUnit, condense_layout
+from repro.perf import (
+    Timer,
+    cache_stats,
+    cached_load_dataset,
+    cached_partition,
+    clear_all_caches,
+    graph_fingerprint,
+    time_callable,
+)
+from repro.perf.bench import BENCH_SIZES, run_benchmarks
+from repro.perf.cache import PARTITION_CACHE
+from repro.perf.reference import (
+    CondenseUnitReference,
+    csr_decode_reference,
+    encode_adaptive_package_reference,
+    sample_neighbors_reference,
+)
+
+
+def random_quantized_matrix(rng, n, f, density, signed=False):
+    bits = rng.choice([1, 2, 3, 4, 8], size=n).astype(np.int64)
+    low = -200 if signed else 0
+    vals = (rng.integers(low, 200, size=(n, f))
+            * (rng.random((n, f)) < density)).astype(np.int64)
+    if signed:
+        np.clip(vals, -(2 ** (bits - 1))[:, None], (2 ** bits - 1)[:, None],
+                out=vals)
+    else:
+        vals = np.minimum(vals, (2 ** bits - 1)[:, None])
+    return vals, bits
+
+
+def random_partitioned_graph(seed, num_nodes=120, num_parts=5):
+    rng = np.random.default_rng(seed)
+    edges = int(rng.integers(num_nodes, num_nodes * 6))
+    graph = synthetic_graph(num_nodes, edges, 8, 4, seed=seed)
+    parts = rng.integers(0, num_parts, size=num_nodes).astype(np.int64)
+    parts[rng.integers(0, num_nodes)] = num_parts - 1  # every id present
+    return graph, parts
+
+
+class TestAdaptivePackageEquivalence:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_bit_identical_to_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n, f = int(rng.integers(1, 60)), int(rng.integers(1, 40))
+        vals, bits = random_quantized_matrix(rng, n, f,
+                                             density=float(rng.uniform(0, 0.8)),
+                                             signed=bool(rng.integers(0, 2)))
+        cfg = PackageConfig() if seed % 3 else PackageConfig(16, 24, 32)
+        fmt = AdaptivePackageFormat(cfg)
+        fast = fmt.encode(vals, bits)
+        ref = encode_adaptive_package_reference(vals, bits, cfg)
+
+        assert fast.num_packages == ref.num_packages
+        for a, b in zip(fast.packages, ref.packages):
+            assert a.mode == b.mode
+            assert a.bitwidth == b.bitwidth
+            np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(fast.bitmap, ref.bitmap)
+        if ref.signs is None:
+            assert fast.signs is None
+        else:
+            np.testing.assert_array_equal(fast.signs, ref.signs)
+        assert fast.report().total_bits == ref.report().total_bits
+        assert fast.report().breakdown == ref.report().breakdown
+        np.testing.assert_array_equal(fmt.decode(fast), vals)
+
+    def test_soa_and_materialized_reports_agree(self):
+        rng = np.random.default_rng(7)
+        vals, bits = random_quantized_matrix(rng, 50, 30, 0.3)
+        fmt = AdaptivePackageFormat()
+        encoded = fmt.encode(vals, bits)
+        soa_report = encoded.report()
+        _ = encoded.packages  # materialize
+        encoded._pkg_modes = None  # force the package-list accounting path
+        assert encoded.report().breakdown == soa_report.breakdown
+
+    def test_empty_and_all_zero_inputs(self):
+        fmt = AdaptivePackageFormat()
+        for n, f in ((0, 4), (5, 8)):
+            vals = np.zeros((n, f), dtype=np.int64)
+            bits = np.full(n, 4, dtype=np.int64)
+            encoded = fmt.encode(vals, bits)
+            assert encoded.num_packages == 0
+            assert encoded.packages == []
+            np.testing.assert_array_equal(fmt.decode(encoded), vals)
+
+
+class TestCondenseEquivalence:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_run_matches_reference(self, seed):
+        graph, parts = random_partitioned_graph(seed)
+        fast = CondenseUnit(graph.adjacency, parts)
+        ref = CondenseUnitReference(graph.adjacency, parts)
+        assert fast.run() == ref.run()
+        assert fast.matches == ref.matches
+        assert fast.comparisons == ref.comparisons
+        assert fast.address_list == ref.address_list
+        assert fast.remaining_eids() == ref.remaining_eids() == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_step_by_step_matches_reference(self, seed):
+        graph, parts = random_partitioned_graph(seed, num_nodes=60)
+        fast = CondenseUnit(graph.adjacency, parts)
+        ref = CondenseUnitReference(graph.adjacency, parts)
+        for node in range(graph.num_nodes):
+            assert fast.on_node_combined(node) == ref.on_node_combined(node)
+        assert fast.sparse_buffer == ref.sparse_buffer
+        assert fast.comparisons == ref.comparisons
+
+    def test_run_after_partial_stepping(self):
+        graph, parts = random_partitioned_graph(3)
+        fast = CondenseUnit(graph.adjacency, parts)
+        ref = CondenseUnitReference(graph.adjacency, parts)
+        for node in range(10):
+            fast.on_node_combined(node)
+            ref.on_node_combined(node)
+        assert fast.run() == ref.run()
+        assert fast.comparisons == ref.comparisons
+        assert fast.remaining_eids() == 0
+
+    def test_layout_matches_vectorized_oracle(self):
+        graph, parts = random_partitioned_graph(11)
+        buffer = CondenseUnit(graph.adjacency, parts).run()
+        layout = condense_layout(graph.adjacency, parts)
+        for p, sources in layout.items():
+            assert buffer[p] == sources.tolist()
+
+
+class TestSamplingAndDecode:
+    def test_sample_neighbors_matches_reference_distribution_shape(self):
+        graph = synthetic_graph(300, 2500, 8, 4, seed=0)
+        sampled = graph.sample_neighbors(3)
+        reference = sample_neighbors_reference(graph.adjacency, 3)
+        np.testing.assert_array_equal(
+            np.minimum(np.diff(graph.adjacency.tocsr().indptr), 3),
+            np.diff(sampled.adjacency.indptr))
+        np.testing.assert_array_equal(np.diff(sampled.adjacency.indptr),
+                                      np.diff(reference.indptr))
+
+    def test_sample_neighbors_subset_of_original(self):
+        graph = synthetic_graph(200, 1800, 8, 4, seed=1)
+        sampled = graph.sample_neighbors(2).adjacency.astype(bool)
+        original = graph.adjacency.astype(bool)
+        assert (sampled.multiply(original) != sampled).nnz == 0
+
+    def test_sample_neighbors_keeps_small_rows_intact(self):
+        graph = synthetic_graph(200, 1000, 8, 4, seed=2)
+        kept = graph.sample_neighbors(10 ** 6).adjacency.astype(bool)
+        assert (kept != graph.adjacency.astype(bool)).nnz == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_csr_decode_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n, f = int(rng.integers(1, 50)), int(rng.integers(1, 40))
+        vals, bits = random_quantized_matrix(rng, n, f,
+                                             density=float(rng.uniform(0, 0.7)))
+        encoded = CsrFormat().encode(vals, bits)
+        np.testing.assert_array_equal(CsrFormat().decode(encoded),
+                                      csr_decode_reference(encoded))
+        np.testing.assert_array_equal(CsrFormat().decode(encoded), vals)
+
+
+class TestSparseUtils:
+    def test_coo_view_memoizes_per_object(self):
+        adj = sp.random(50, 50, density=0.1, format="csr", random_state=0)
+        assert coo_view(adj) is coo_view(adj)
+
+    def test_coo_view_invalidated_by_nnz_change(self):
+        adj = sp.random(20, 20, density=0.1, format="csr", random_state=0)
+        parts = np.arange(20) % 3
+        cross_edge_mask(adj, parts)  # populate the cache
+        with pytest.warns(sp.SparseEfficiencyWarning):
+            adj[2, 3] = 1.0  # in-place insert: same object, new structure
+        mask = cross_edge_mask(adj, parts)
+        assert len(mask) == adj.nnz  # stale cached view would be shorter
+        expected = parts[adj.tocoo().row] != parts[adj.tocoo().col]
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_cross_edge_mask_matches_inline_pattern(self):
+        graph, parts = random_partitioned_graph(5)
+        coo = graph.adjacency.tocoo()
+        expected = parts[coo.row] != parts[coo.col]
+        np.testing.assert_array_equal(cross_edge_mask(graph.adjacency, parts),
+                                      expected)
+
+    def test_graph_scalar_caches(self):
+        graph = synthetic_graph(100, 500, 8, 4, seed=0)
+        assert graph.num_classes == graph.num_classes
+        assert "num_classes" in graph._cache
+        density = graph.feature_density()
+        assert "feature_density" in graph._cache
+        assert graph.feature_density() == density
+
+
+class TestPerfCache:
+    def test_cached_partition_identity_and_stats(self):
+        clear_all_caches()
+        graph = synthetic_graph(150, 700, 8, 4, seed=0)
+        first = cached_partition(graph.adjacency, 4)
+        second = cached_partition(graph.adjacency, 4)
+        assert first is second
+        stats = cache_stats()["partition"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cached_partition_matches_uncached(self):
+        clear_all_caches()
+        graph = synthetic_graph(150, 700, 8, 4, seed=1)
+        cached = cached_partition(graph.adjacency, 4, seed=0)
+        direct = partition_graph(graph.adjacency, 4, seed=0)
+        np.testing.assert_array_equal(cached.parts, direct.parts)
+        assert cached.edge_cut == direct.edge_cut
+
+    def test_fingerprint_distinguishes_content(self):
+        a = sp.identity(20, format="csr")
+        b = sp.identity(21, format="csr")
+        c = sp.identity(20, format="csr")
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+        assert graph_fingerprint(a) == graph_fingerprint(c)
+        assert graph_fingerprint(a) == graph_fingerprint(a)  # memo path
+
+    def test_distinct_params_get_distinct_entries(self):
+        clear_all_caches()
+        graph = synthetic_graph(120, 500, 8, 4, seed=2)
+        cached_partition(graph.adjacency, 2)
+        cached_partition(graph.adjacency, 3)
+        assert len(PARTITION_CACHE) == 2
+
+    def test_cached_load_dataset_returns_same_object(self):
+        clear_all_caches()
+        assert cached_load_dataset("cora", scale="tiny") is \
+            cached_load_dataset("cora", scale="tiny")
+
+
+class TestTimersAndBench:
+    def test_timer_measures_positive_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+    def test_time_callable_counts_repeats(self):
+        stats = time_callable(lambda: None, repeats=4, warmup=0)
+        assert stats.as_dict()["repeats"] == 4
+        assert stats.best_s <= stats.mean_s
+
+    def test_bench_tiny_produces_valid_report(self, tmp_path):
+        report = run_benchmarks(sizes=["tiny"], repeats=1, check=True)
+        required = {"adaptive_package_encode", "condense_run",
+                    "sample_neighbors", "csr_decode", "partition_graph"}
+        assert required <= set(report["kernels"])
+        for kernel in required:
+            row = report["kernels"][kernel]["tiny"]
+            assert row["speedup"] > 0
+        # the report round-trips through JSON
+        path = tmp_path / "BENCH_repro.json"
+        path.write_text(json.dumps(report))
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v1"
+
+    def test_bench_rejects_unknown_size(self):
+        with pytest.raises(ValueError):
+            run_benchmarks(sizes=["galactic"])
+
+    def test_bench_sizes_cover_acceptance_scale(self):
+        nodes, edges, _, _ = BENCH_SIZES["large"]
+        assert nodes >= 50_000 and edges >= 500_000
