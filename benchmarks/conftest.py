@@ -17,6 +17,16 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_sweep_cache(tmp_path_factory):
+    """Keep figure-regeneration sweeps out of the user's real disk cache
+    (one shared session store preserves the cross-benchmark reuse)."""
+    from repro.eval.engine import temporary_cache_dir
+
+    with temporary_cache_dir(tmp_path_factory.mktemp("sweep-cache")):
+        yield
+
+
 @pytest.fixture(scope="session")
 def workloads():
     from repro.eval import PAPER_WORKLOADS, QUICK_WORKLOADS

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..formats.base import bits_needed
-from ..graphs.partition import partition_graph
+from ..perf.cache import cached_partition
 from ..sim import BufferSet, BufferSpec, DramModel
 from ..sim.accelerator import AcceleratorModel, LayerCost
 from ..sim.locality import aggregation_locality_traffic
@@ -36,8 +36,6 @@ from ..sim.workload import Workload
 
 __all__ = ["BaselineConfig", "GenericAcceleratorModel", "BASELINE_PRESETS",
            "build_baseline"]
-
-_PARTITION_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -211,19 +209,19 @@ class GenericAcceleratorModel(AcceleratorModel):
         input_bytes = self._feature_storage_bytes(float(n) * f_in, total_nnz, n, f_in)
         traffic = self.dram.sequential_access(input_bytes, purpose="features_in")
         weight_bits = 32 if bits_f == 32 else 8
-        traffic = traffic + self.dram.sequential_access(
-            f_in * f_out * weight_bits / 8.0, purpose="weights")
+        traffic.accumulate(self.dram.sequential_access(
+            f_in * f_out * weight_bits / 8.0, purpose="weights"))
 
         if cfg.execution_order == "AXW":
             # Per-edge gathers of full feature vectors (HyGCN's window
             # sliding cannot fix inter-window irregularity), plus the
             # dense AX intermediate spilled and re-read.
             feat_bytes = f_in * bits_f / 8.0
-            traffic = traffic + self.dram.random_access(edges, feat_bytes,
-                                                        purpose="agg_gather")
+            traffic.accumulate(self.dram.random_access(edges, feat_bytes,
+                                                       purpose="agg_gather"))
             ax_bytes = float(n) * f_in * bits_f / 8.0
-            traffic = traffic + self.dram.sequential_access(ax_bytes, purpose="ax_write")
-            traffic = traffic + self.dram.sequential_access(ax_bytes, purpose="ax_read")
+            traffic.accumulate(self.dram.sequential_access(ax_bytes, purpose="ax_write"))
+            traffic.accumulate(self.dram.sequential_access(ax_bytes, purpose="ax_read"))
         else:
             combined_bytes = f_out * bits_f / 8.0
             buffer_bytes = self.buffers["aggregation"].capacity_bytes
@@ -239,20 +237,18 @@ class GenericAcceleratorModel(AcceleratorModel):
                 parts=parts, buffer_nodes=buffer_nodes,
                 combination_buffer_bytes=self.buffers["unified"].capacity_bytes,
             )
-            traffic = traffic + agg.total
+            traffic.accumulate(agg.total)
 
         out_bytes = self._feature_storage_bytes(float(n) * f_out,
                                                 float(n) * f_out * 0.5, n, f_out)
-        traffic = traffic + self.dram.sequential_access(out_bytes, purpose="features_out")
+        traffic.accumulate(self.dram.sequential_access(out_bytes, purpose="features_out"))
         # Adjacency structure (CSC edges) read once per layer.
-        traffic = traffic + self.dram.sequential_access(
-            edges * (bits_needed(n) + 32) / 8.0, purpose="adjacency")
+        traffic.accumulate(self.dram.sequential_access(
+            edges * (bits_needed(n) + 32) / 8.0, purpose="adjacency"))
         return traffic
 
     def _partition(self, workload: Workload, num_parts: int) -> np.ndarray:
-        key = (id(workload), num_parts)
-        if key not in _PARTITION_CACHE:
-            result = partition_graph(workload.adjacency, num_parts, seed=0,
-                                     refine_passes=1)
-            _PARTITION_CACHE[key] = result.parts
-        return _PARTITION_CACHE[key]
+        # Content-keyed (the old id(workload) key could collide after GC
+        # and never shared work between equal-content workloads).
+        return cached_partition(workload.adjacency, num_parts, seed=0,
+                                refine_passes=1).parts

@@ -1,0 +1,402 @@
+"""Declarative (workload × accelerator) sweep engine.
+
+Every table and figure in :mod:`repro.eval.experiments` boils down to a
+set of independent ``simulate one workload on one accelerator`` jobs.
+This module makes that set explicit — a :class:`SimJob` names the
+accelerator, dataset, model, precision variant and quantization target —
+and :class:`SweepEngine` executes deduplicated batches through three
+layers:
+
+1. an in-process memory cache (same object returned for repeat jobs, so
+   figure scripts sharing a sweep stay cheap and identity-stable);
+2. a persistent, content-fingerprinted disk cache
+   (:class:`repro.perf.cache.DiskCache`) keyed by the simulated graph's
+   CSR fingerprint, the accelerator/variant and the quantization
+   target, namespaced by the :func:`~repro.perf.cache.code_version`
+   digest — so a second process (another figure script, another CI
+   step) replays a sweep without re-simulating, any code change
+   invalidates every entry, and stale-version entries are pruned rather
+   than accumulated;
+3. actual execution, either serially or fanned out over a
+   ``ProcessPoolExecutor`` with jobs chunked per dataset (workers are
+   forked *after* the parent resolved the dataset fingerprints, so they
+   inherit the warm dataset caches and only pay for workload build +
+   simulation).  Any failure to stand up the pool falls back to the
+   serial path.
+
+Environment knobs:
+
+- ``REPRO_SWEEP_WORKERS`` — default worker count for engines that are
+  not given one explicitly (``0``/``1`` = serial, the default);
+- ``REPRO_CACHE_DIR`` — root of the on-disk store (default
+  ``~/.cache/repro``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..perf.cache import (
+    ContentCache,
+    DiskCache,
+    cached_load_dataset,
+    code_version,
+    content_key,
+    graph_fingerprint,
+)
+from ..sim.accelerator import SimReport
+from ..sim.workload import Workload, build_workload
+
+__all__ = ["SimJob", "SweepEngine", "get_engine", "set_engine",
+           "temporary_cache_dir"]
+
+T = TypeVar("T")
+
+
+def _env_workers() -> int:
+    try:
+        return max(int(os.environ.get("REPRO_SWEEP_WORKERS", "0")), 0)
+    except ValueError:
+        return 0
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (accelerator, dataset, model, variant) simulation request."""
+
+    accelerator: str
+    dataset: str
+    model: str
+    variant: Tuple[Tuple[str, object], ...] = ()
+    target_average_bits: Optional[float] = None
+    seed: int = 0
+
+    @classmethod
+    def from_call(cls, accelerator: str, dataset: str, model: str,
+                  mega_kwargs: Optional[Dict[str, object]] = None,
+                  target_average_bits: Optional[float] = None,
+                  seed: int = 0) -> "SimJob":
+        variant = tuple(sorted((mega_kwargs or {}).items()))
+        return cls(accelerator, dataset, model, variant,
+                   target_average_bits, seed)
+
+    @property
+    def precision(self) -> str:
+        """The workload precision the paper pairs with this accelerator."""
+        if self.accelerator == "mega":
+            return "degree-aware"
+        if self.accelerator.endswith("-8bit"):
+            return "int8"
+        return "fp32"
+
+    @property
+    def variant_label(self) -> str:
+        return "+".join(f"{k}={v}" for k, v in self.variant)
+
+
+# Worker/serial-side memo of built workloads, shared by every job of one
+# (dataset, model, precision) in a process.  Module-level (not on the
+# engine) so forked pool workers reuse whatever the parent already built.
+_WORKLOAD_MEMO = ContentCache("workloads")
+
+
+def _workload_key(dataset: str, model: str, precision: str,
+                  target_average_bits: Optional[float], seed: int) -> tuple:
+    return (dataset.lower(), model.lower(), precision,
+            target_average_bits, seed)
+
+
+def _build_workload_cached(dataset: str, model: str, precision: str,
+                           target_average_bits: Optional[float],
+                           seed: int) -> Workload:
+    key = _workload_key(dataset, model, precision, target_average_bits, seed)
+    return _WORKLOAD_MEMO.get_or_compute(
+        key,
+        lambda: build_workload(
+            dataset, model, precision, seed=seed,
+            graph=cached_load_dataset(dataset, scale="sim", seed=seed),
+            target_average_bits=target_average_bits,
+        ))
+
+
+def _build_job_workload(job: SimJob) -> Workload:
+    return _build_workload_cached(job.dataset, job.model, job.precision,
+                                  job.target_average_bits, job.seed)
+
+
+def _execute_job(job: SimJob) -> SimReport:
+    """Build the accelerator model for ``job`` and simulate its workload."""
+    workload = _build_job_workload(job)
+    if job.accelerator == "mega":
+        from ..mega import MegaModel
+
+        return MegaModel(**dict(job.variant)).simulate(workload)
+    from ..baselines import build_baseline
+
+    if job.variant:
+        raise ValueError(
+            f"variant kwargs {job.variant_label!r} only apply to 'mega', "
+            f"not {job.accelerator!r}")
+    return build_baseline(job.accelerator).simulate(workload)
+
+
+def _execute_chunk(jobs: Sequence[SimJob]) -> List[SimReport]:
+    """Pool entry point: run one dataset-grouped chunk of jobs."""
+    return [_execute_job(job) for job in jobs]
+
+
+class SweepEngine:
+    """Deduplicating, caching, optionally parallel simulation runner."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 use_disk: bool = True) -> None:
+        self.workers = _env_workers() if workers is None else max(int(workers), 0)
+        self.reports = ContentCache("sim_reports")
+        self.tables = ContentCache("tables")
+        # The code-version digest namespaces the store as a directory, so
+        # entries orphaned by code changes are pruned, not accumulated.
+        self.disk: Optional[DiskCache] = (
+            DiskCache("sweep", directory=cache_dir, namespace=code_version())
+            if use_disk else None)
+        self.executed_jobs = 0
+        # True once a worker pool actually executed jobs (stays False
+        # when the serial path or a fallback ran instead).
+        self.pool_used = False
+
+    def _memo_with_disk(self, key: tuple, compute: Callable[[], T]) -> T:
+        """Memory-then-disk memoization of a derived artifact."""
+        if self.disk is None:
+            return self.tables.get_or_compute(key, compute)
+        return self.tables.get_or_compute(
+            key, lambda: self.disk.get_or_compute(content_key(*key), compute))
+
+    # -- fingerprints ------------------------------------------------------
+    def dataset_fingerprint(self, dataset: str, seed: int = 0) -> str:
+        """CSR fingerprint of the simulated graph for ``dataset``.
+
+        Memoized on disk keyed by (dataset, seed) in the code-versioned
+        namespace: synthetic generation is deterministic in those, so
+        warm-cache runs resolve the fingerprint without regenerating the
+        graph at all.
+        """
+        def compute() -> str:
+            graph = cached_load_dataset(dataset, scale="sim", seed=seed)
+            return graph_fingerprint(graph.adjacency)
+
+        key = ("graph-fp", dataset.lower(), "sim", seed)
+        return self._memo_with_disk(key, compute)
+
+    def job_fingerprint(self, job: SimJob) -> str:
+        """Disk key of one job: graph content + accelerator config (the
+        code version scopes the store's namespace directory)."""
+        return content_key(
+            "sim-report",
+            self.dataset_fingerprint(job.dataset, job.seed),
+            job.accelerator, job.model, job.precision, job.variant,
+            job.target_average_bits, job.seed,
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob],
+            workers: Optional[int] = None) -> Dict[SimJob, SimReport]:
+        """Execute a batch of jobs, deduplicated, through the cache stack."""
+        workers = self.workers if workers is None else max(int(workers), 0)
+        unique = list(dict.fromkeys(jobs))
+        results: Dict[SimJob, SimReport] = {}
+        pending: List[SimJob] = []
+        for job in unique:
+            report = self.reports.get(job)
+            if report is not None:
+                results[job] = report
+                continue
+            if self.disk is not None:
+                cached = self.disk.get(self.job_fingerprint(job))
+                if cached is not None:
+                    results[job] = self.reports.put(job, cached)
+                    continue
+            pending.append(job)
+
+        if pending:
+            if workers > 1 and len(pending) > 1:
+                self._run_parallel(pending, workers, results)
+            else:
+                self._run_serial(pending, results)
+        return results
+
+    def _store(self, job: SimJob, report: SimReport,
+               results: Dict[SimJob, SimReport]) -> None:
+        results[job] = self.reports.put(job, report)
+        if self.disk is not None:
+            self.disk.put(self.job_fingerprint(job), report)
+
+    def _run_serial(self, pending: Sequence[SimJob],
+                    results: Dict[SimJob, SimReport]) -> None:
+        """Execute jobs one by one, persisting each result as it lands
+        (a failure part-way keeps everything computed so far cached)."""
+        for job in pending:
+            report = _execute_job(job)
+            self.executed_jobs += 1
+            self._store(job, report, results)
+
+    def _run_parallel(self, pending: Sequence[SimJob], workers: int,
+                      results: Dict[SimJob, SimReport]) -> None:
+        """Fan dataset-grouped chunks out over a process pool.
+
+        Chunking per (dataset, seed) lets each worker amortize dataset and
+        workload construction across its chunk; fork (where available)
+        additionally hands workers the parent's warm caches.  Completed
+        chunks are persisted as they arrive: a job error costs its own
+        chunk and is re-raised once every other chunk is stored, and a
+        dead pool (no subprocess support, OOM-killed workers) degrades to
+        the serial path for whatever is still missing.
+        """
+        chunks: Dict[tuple, List[SimJob]] = {}
+        for job in pending:
+            chunks.setdefault((job.dataset, job.seed), []).append(job)
+        chunk_list = list(chunks.values())
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunk_list)),
+                                       mp_context=ctx)
+        except (OSError, ValueError, NotImplementedError):
+            # No subprocess/semaphore support in this environment.
+            self._run_serial(pending, results)
+            return
+        job_error: Optional[BaseException] = None
+        pool_broken = False
+        with pool:
+            futures = {pool.submit(_execute_chunk, chunk): chunk
+                       for chunk in chunk_list}
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    chunk_reports = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    break
+                except Exception as exc:
+                    job_error = job_error or exc
+                    continue
+                self.pool_used = True
+                self.executed_jobs += len(chunk)
+                for job, report in zip(chunk, chunk_reports):
+                    self._store(job, report, results)
+        if pool_broken:
+            self._run_serial([j for j in pending if j not in results], results)
+        elif job_error is not None:
+            raise job_error
+
+    def simulate(self, accelerator: str, dataset: str, model: str,
+                 target_average_bits: Optional[float] = None,
+                 **mega_kwargs) -> SimReport:
+        """Single-job convenience wrapper over :meth:`run`."""
+        job = SimJob.from_call(accelerator, dataset, model, mega_kwargs,
+                               target_average_bits=target_average_bits)
+        return self.run([job])[job]
+
+    # -- non-simulation artifacts ------------------------------------------
+    def workload(self, dataset: str, model: str, precision: str,
+                 target_average_bits: Optional[float] = None,
+                 seed: int = 0) -> Workload:
+        """Memoized (memory + disk) workload construction."""
+        key = _workload_key(dataset, model, precision, target_average_bits, seed)
+        workload = _WORKLOAD_MEMO.get(key)
+        if workload is not None:
+            return workload
+
+        def build() -> Workload:
+            return _build_workload_cached(dataset, model, precision,
+                                          target_average_bits, seed)
+
+        if self.disk is None:
+            return build()
+        disk_key = content_key(
+            "workload", self.dataset_fingerprint(dataset, seed), key)
+        workload = self.disk.get_or_compute(disk_key, build)
+        return _WORKLOAD_MEMO.put(key, workload)
+
+    def graph(self, dataset: str, seed: int = 0):
+        """The simulated-scale graph every runner shares."""
+        return cached_load_dataset(dataset, scale="sim", seed=seed)
+
+    def cached_table(self, key_parts: tuple, compute: Callable[[], T]) -> T:
+        """Memoize a whole derived table (memory + disk), content-keyed.
+
+        Callers put every result-determining input — including dataset
+        fingerprints — into ``key_parts``; the store's code-versioned
+        namespace makes stale tables die with the code that produced
+        them.
+        """
+        return self._memo_with_disk(("table",) + key_parts, compute)
+
+    # -- maintenance -------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop in-process caches (disk entries survive)."""
+        self.reports.clear()
+        self.tables.clear()
+        _WORKLOAD_MEMO.clear()
+        self.executed_jobs = 0
+        self.pool_used = False
+
+    def clear_disk(self) -> None:
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        out = {"reports": self.reports.stats(), "tables": self.tables.stats(),
+               "workloads": _WORKLOAD_MEMO.stats(),
+               "executed": {"jobs": self.executed_jobs,
+                            "pool_used": self.pool_used}}
+        if self.disk is not None:
+            out["disk"] = self.disk.stats()
+        return out
+
+
+_ENGINE: Optional[SweepEngine] = None
+
+
+def get_engine() -> SweepEngine:
+    """The process-wide default engine the experiment runners share."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = SweepEngine()
+    return _ENGINE
+
+
+def set_engine(engine: Optional[SweepEngine]) -> Optional[SweepEngine]:
+    """Swap the default engine (tests use this to isolate cache state)."""
+    global _ENGINE
+    previous = _ENGINE
+    _ENGINE = engine
+    return previous
+
+
+@contextlib.contextmanager
+def temporary_cache_dir(path: os.PathLike):
+    """Redirect ``REPRO_CACHE_DIR`` and the default engine to ``path``.
+
+    Used by the test-suite conftests to keep sweeps hermetic: inside the
+    context every engine created without an explicit ``cache_dir``
+    (including the process default) persists under ``path``; on exit the
+    previous environment and default engine are restored.
+    """
+    previous_dir = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    previous_engine = set_engine(None)  # rebuilt lazily under the new dir
+    try:
+        yield
+    finally:
+        if previous_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous_dir
+        set_engine(previous_engine)

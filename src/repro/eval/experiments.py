@@ -1,23 +1,25 @@
 """Experiment runners regenerating every evaluation table and figure.
 
 Each function corresponds to one artifact of the paper's Sec. VI (see
-DESIGN.md §5 for the index).  Results are memoized at module level so
-the benchmark files can share one sweep.
+DESIGN.md §5 for the index).  Every runner expresses its sweep as a
+declarative batch of :class:`~repro.eval.engine.SimJob` and hands it to
+the shared :class:`~repro.eval.engine.SweepEngine`, which deduplicates
+jobs, replays them from the persistent on-disk cache when possible, and
+can fan cold batches out over worker processes (``REPRO_SWEEP_WORKERS``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..baselines import build_baseline
-from ..mega import MegaModel
-from ..perf.cache import cached_load_dataset, cached_partition
+from ..perf.cache import cached_partition, clear_all_caches
 from ..sim.accelerator import SimReport
 from ..sim.dram import DramModel
 from ..sim.locality import aggregation_locality_traffic
-from ..sim.workload import Workload, build_workload
+from ..sim.workload import Workload
+from .engine import SimJob, get_engine
 from .reporting import geomean
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "cr_sensitivity",
     "original_config_comparison",
     "energy_breakdown_fig18",
+    "clear_caches",
 ]
 
 # The paper's ten evaluation workloads (Fig. 14/16/17 x-axis).
@@ -54,58 +57,51 @@ QUICK_WORKLOADS: Tuple[Tuple[str, str], ...] = (
 
 BASELINE_NAMES = ("hygcn", "gcnax", "grow", "sgcn")
 
-_WORKLOAD_CACHE: Dict[Tuple[str, str, str], Workload] = {}
-_SIM_CACHE: Dict[Tuple[str, str, str, str], SimReport] = {}
-
 
 def _sim_graph(dataset: str):
-    return cached_load_dataset(dataset, scale="sim")
+    return get_engine().graph(dataset)
 
 
 def get_workload(dataset: str, model: str, precision: str) -> Workload:
-    """Memoized workload construction (shares one sim graph per dataset)."""
-    key = (dataset, model, precision)
-    if key not in _WORKLOAD_CACHE:
-        _WORKLOAD_CACHE[key] = build_workload(
-            dataset, model, precision, graph=_sim_graph(dataset))
-    return _WORKLOAD_CACHE[key]
+    """Engine-cached workload construction (memory + on-disk)."""
+    return get_engine().workload(dataset, model, precision)
 
 
 def simulate(accelerator: str, dataset: str, model: str,
              **mega_kwargs) -> SimReport:
-    """Simulate one (accelerator, workload) pair, memoized.
+    """Simulate one (accelerator, workload) pair through the engine.
 
     MEGA consumes the degree-aware mixed-precision workload; the 8-bit
     variants consume uniform INT8; everything else runs FP32 — exactly
     the paper's setting.
     """
-    variant = "+".join(f"{k}={v}" for k, v in sorted(mega_kwargs.items()))
-    key = (accelerator, dataset, model, variant)
-    if key in _SIM_CACHE:
-        return _SIM_CACHE[key]
-    if accelerator == "mega":
-        workload = get_workload(dataset, model, "degree-aware")
-        report = MegaModel(**mega_kwargs).simulate(workload)
-    elif accelerator.endswith("-8bit"):
-        workload = get_workload(dataset, model, "int8")
-        report = build_baseline(accelerator).simulate(workload)
-    else:
-        workload = get_workload(dataset, model, "fp32")
-        report = build_baseline(accelerator).simulate(workload)
-    _SIM_CACHE[key] = report
-    return report
+    return get_engine().simulate(accelerator, dataset, model, **mega_kwargs)
+
+
+def clear_caches() -> None:
+    """Reset every sweep-related cache layer (engine memory + legacy).
+
+    Disk entries survive (they are content-keyed and code-versioned);
+    this drops the in-process state so tests and benchmarks cannot leak
+    sweep results into each other.
+    """
+    get_engine().clear_memory()
+    clear_all_caches()
 
 
 def full_comparison(workloads: Sequence[Tuple[str, str]] = QUICK_WORKLOADS,
                     accelerators: Sequence[str] = BASELINE_NAMES + ("mega",),
                     ) -> Dict[Tuple[str, str], Dict[str, SimReport]]:
-    """All (workload, accelerator) simulation reports."""
-    out: Dict[Tuple[str, str], Dict[str, SimReport]] = {}
-    for dataset, model in workloads:
-        out[(dataset, model)] = {
-            name: simulate(name, dataset, model) for name in accelerators
+    """All (workload, accelerator) simulation reports, as one batch."""
+    jobs = {(dataset, model, name): SimJob.from_call(name, dataset, model)
+            for dataset, model in workloads for name in accelerators}
+    reports = get_engine().run(list(jobs.values()))
+    return {
+        (dataset, model): {
+            name: reports[jobs[(dataset, model, name)]] for name in accelerators
         }
-    return out
+        for dataset, model in workloads
+    }
 
 
 def _ratio_table(metric: str,
@@ -155,13 +151,16 @@ def energy_table(workloads=QUICK_WORKLOADS, accelerators=BASELINE_NAMES):
 def stall_table(datasets=("cora", "citeseer", "pubmed"),
                 accelerators=("hygcn", "gcnax", "mega")) -> Dict[str, Dict[str, float]]:
     """Fig. 20(a): fraction of cycles stalled on DRAM, GCN workloads."""
-    out: Dict[str, Dict[str, float]] = {}
-    for dataset in datasets:
-        out[dataset] = {
-            name: simulate(name, dataset, "gcn").stall_fraction
+    jobs = {(dataset, name): SimJob.from_call(name, dataset, "gcn")
+            for dataset in datasets for name in accelerators}
+    reports = get_engine().run(list(jobs.values()))
+    return {
+        dataset: {
+            name: reports[jobs[(dataset, name)]].stall_fraction
             for name in accelerators
         }
-    return out
+        for dataset in datasets
+    }
 
 
 def ablation_fig19(dataset: str = "cora", model: str = "gcn") -> Dict[str, SimReport]:
@@ -170,13 +169,16 @@ def ablation_fig19(dataset: str = "cora", model: str = "gcn") -> Dict[str, SimRe
     Steps: HyGCN-C (A(XW) order, FP32) -> +quantization stored in Bitmap
     -> +Adaptive-Package -> +Condense-Edge (full MEGA).
     """
-    return {
-        "hygcn-c": simulate("hygcn-c", dataset, model),
-        "quant+bitmap": simulate("mega", dataset, model,
-                                 storage="bitmap", condense=False),
-        "+adaptive-package": simulate("mega", dataset, model, condense=False),
-        "+condense-edge": simulate("mega", dataset, model),
+    jobs = {
+        "hygcn-c": SimJob.from_call("hygcn-c", dataset, model),
+        "quant+bitmap": SimJob.from_call(
+            "mega", dataset, model, {"storage": "bitmap", "condense": False}),
+        "+adaptive-package": SimJob.from_call(
+            "mega", dataset, model, {"condense": False}),
+        "+condense-edge": SimJob.from_call("mega", dataset, model),
     }
+    reports = get_engine().run(list(jobs.values()))
+    return {step: reports[job] for step, job in jobs.items()}
 
 
 def locality_study(dataset: str = "cora", feature_dim: int = 128,
@@ -186,29 +188,39 @@ def locality_study(dataset: str = "cora", feature_dim: int = 128,
     """Fig. 6 / Fig. 20(b): aggregation DRAM per scheduling strategy.
 
     Returns per strategy the internal ("in subgraphs") and cross
-    ("sparse connections") traffic in MB.
+    ("sparse connections") traffic in MB.  The whole table is
+    content-cached through the engine (keyed by the graph fingerprint
+    and every parameter), so repeat figure runs replay it from disk.
     """
-    graph = _sim_graph(dataset)
-    dram = DramModel()
-    feat_bytes = feature_dim * feature_bits / 8.0
-    buffer_nodes = max(int(128 * 1024 / (feature_dim * 2.0)), 1)
-    if num_parts is None:
-        num_parts = max(int(np.ceil(graph.num_nodes / buffer_nodes)), 2)
-    parts = cached_partition(graph.adjacency, num_parts, seed=0,
-                             refine_passes=1).parts
-    out: Dict[str, Dict[str, float]] = {}
-    for strategy in strategies:
-        traffic = aggregation_locality_traffic(
-            graph.adjacency, feat_bytes, dram, strategy=strategy,
-            parts=None if strategy == "naive" else parts,
-            buffer_nodes=buffer_nodes,
-        )
-        out[strategy] = {
-            "internal_mb": traffic.internal.total_mb,
-            "cross_mb": (traffic.cross + traffic.reorder_writes).total_mb,
-            "total_mb": traffic.total.total_mb,
-        }
-    return out
+    engine = get_engine()
+
+    def compute() -> Dict[str, Dict[str, float]]:
+        graph = engine.graph(dataset)
+        dram = DramModel()
+        feat_bytes = feature_dim * feature_bits / 8.0
+        buffer_nodes = max(int(128 * 1024 / (feature_dim * 2.0)), 1)
+        parts_count = num_parts
+        if parts_count is None:
+            parts_count = max(int(np.ceil(graph.num_nodes / buffer_nodes)), 2)
+        parts = cached_partition(graph.adjacency, parts_count, seed=0,
+                                 refine_passes=1).parts
+        out: Dict[str, Dict[str, float]] = {}
+        for strategy in strategies:
+            traffic = aggregation_locality_traffic(
+                graph.adjacency, feat_bytes, dram, strategy=strategy,
+                parts=None if strategy == "naive" else parts,
+                buffer_nodes=buffer_nodes,
+            )
+            out[strategy] = {
+                "internal_mb": traffic.internal.total_mb,
+                "cross_mb": (traffic.cross + traffic.reorder_writes).total_mb,
+                "total_mb": traffic.total.total_mb,
+            }
+        return out
+
+    key = ("locality_study", engine.dataset_fingerprint(dataset),
+           feature_dim, feature_bits, tuple(strategies), num_parts)
+    return engine.cached_table(key, compute)
 
 
 def package_length_study(
@@ -220,8 +232,9 @@ def package_length_study(
     to each dataset's optimum."""
     from ..formats import AdaptivePackageFormat, PackageConfig
 
-    out: Dict[str, Dict[Tuple[int, int, int], float]] = {}
-    for dataset in datasets:
+    engine = get_engine()
+
+    def one_dataset(dataset: str) -> Dict[Tuple[int, int, int], float]:
         workload = get_workload(dataset, "gcn", "degree-aware")
         layer = workload.layers[0]
         bits = np.minimum(layer.input_bits, 8)
@@ -231,24 +244,35 @@ def package_length_study(
             raw[tuple(setting)] = fmt.measure(
                 layer.input_nnz, bits, layer.in_dim).total_bits
         best = min(raw.values())
-        out[dataset] = {k: v / best for k, v in raw.items()}
+        return {k: v / best for k, v in raw.items()}
+
+    out: Dict[str, Dict[Tuple[int, int, int], float]] = {}
+    for dataset in datasets:
+        key = ("package_length_study", engine.dataset_fingerprint(dataset),
+               tuple(tuple(s) for s in settings))
+        out[dataset] = engine.cached_table(
+            key, lambda d=dataset: one_dataset(d))
     return out
 
 
 def cr_sensitivity(dataset: str = "cora", models=("gcn", "gin"),
                    targets=(8.0, 6.4, 4.3, 3.2, 2.5)) -> Dict[str, Dict[float, float]]:
     """Fig. 22: MEGA speedup over HyGCN as compression ratio grows."""
+    jobs = {}
+    for model in models:
+        jobs[(model, None)] = SimJob.from_call("hygcn", dataset, model)
+        for target in targets:
+            jobs[(model, target)] = SimJob.from_call(
+                "mega", dataset, model, target_average_bits=target)
+    reports = get_engine().run(list(jobs.values()))
     out: Dict[str, Dict[float, float]] = {}
     for model in models:
-        hygcn = simulate("hygcn", dataset, model)
-        row = {}
-        for target in targets:
-            workload = build_workload(dataset, model, "degree-aware",
-                                      graph=_sim_graph(dataset),
-                                      target_average_bits=target)
-            mega = MegaModel().simulate(workload)
-            row[round(32.0 / target, 1)] = hygcn.total_cycles / mega.total_cycles
-        out[model] = row
+        hygcn = reports[jobs[(model, None)]]
+        out[model] = {
+            round(32.0 / target, 1):
+                hygcn.total_cycles / reports[jobs[(model, target)]].total_cycles
+            for target in targets
+        }
     return out
 
 
@@ -256,11 +280,15 @@ def original_config_comparison(datasets=("cora", "citeseer", "pubmed"),
                                model: str = "gcn") -> Dict[str, Dict[str, float]]:
     """Fig. 15: MEGA vs GCNAX/GROW in their original configurations,
     normalized to GCNAX."""
+    accelerators = ("gcnax-original", "grow-original", "mega")
+    jobs = {(dataset, name): SimJob.from_call(name, dataset, model)
+            for dataset in datasets for name in accelerators}
+    reports = get_engine().run(list(jobs.values()))
     out: Dict[str, Dict[str, float]] = {}
     for dataset in datasets:
-        gcnax = simulate("gcnax-original", dataset, model)
-        grow = simulate("grow-original", dataset, model)
-        mega = simulate("mega", dataset, model)
+        gcnax = reports[jobs[(dataset, "gcnax-original")]]
+        grow = reports[jobs[(dataset, "grow-original")]]
+        mega = reports[jobs[(dataset, "mega")]]
         out[dataset] = {
             "gcnax": 1.0,
             "grow": gcnax.total_cycles / grow.total_cycles,
@@ -272,10 +300,13 @@ def original_config_comparison(datasets=("cora", "citeseer", "pubmed"),
 def energy_breakdown_fig18(datasets=("cora", "citeseer", "pubmed"),
                            model: str = "gcn") -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 18: DRAM/SRAM/PU/leakage energy, HyGCN normalized to MEGA."""
+    jobs = {(dataset, name): SimJob.from_call(name, dataset, model)
+            for dataset in datasets for name in ("mega", "hygcn")}
+    reports = get_engine().run(list(jobs.values()))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for dataset in datasets:
-        mega = simulate("mega", dataset, model).energy
-        hygcn = simulate("hygcn", dataset, model).energy
+        mega = reports[jobs[(dataset, "mega")]].energy
+        hygcn = reports[jobs[(dataset, "hygcn")]].energy
         out[dataset] = {
             "mega": {"dram": 1.0, "sram": 1.0, "pu": 1.0, "leakage": 1.0},
             "hygcn": {

@@ -94,8 +94,8 @@ class MegaModel(AcceleratorModel):
         # ---- DRAM traffic ----------------------------------------------
         input_bytes = report.total_bits / 8.0
         traffic = self.dram.sequential_access(input_bytes, purpose="features_in")
-        traffic = traffic + self.dram.sequential_access(
-            self.weight_traffic_bytes(layer, cfg.weight_bits), purpose="weights")
+        traffic.accumulate(self.dram.sequential_access(
+            self.weight_traffic_bytes(layer, cfg.weight_bits), purpose="weights"))
 
         # Combined features B are ~dense 4-bit vectors (Sec. V-A).
         combined_bytes = f_out * cfg.weight_bits / 8.0
@@ -114,14 +114,14 @@ class MegaModel(AcceleratorModel):
             parts=parts, buffer_nodes=buffer_nodes,
             combination_buffer_bytes=self.buffers["combination"].capacity_bytes,
         )
-        traffic = traffic + agg_traffic.total
+        traffic.accumulate(agg_traffic.total)
 
         # Aggregated output written back in packaged form (next layer's
         # input feature map, 8-bit codes at the learned bitwidths).
         out_nnz = np.full(n, min(max(int(f_out * 0.5), 1), f_out), dtype=np.int64)
         out_report = self._format().measure(out_nnz, bits, f_out)
-        traffic = traffic + self.dram.sequential_access(
-            out_report.total_bits / 8.0, purpose="features_out")
+        traffic.accumulate(self.dram.sequential_access(
+            out_report.total_bits / 8.0, purpose="features_out"))
 
         # ---- Energy -----------------------------------------------------
         bitops = float((layer.input_nnz * bits).sum()) * cfg.weight_bits * f_out

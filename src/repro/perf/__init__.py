@@ -4,7 +4,9 @@ benchmark runner.
 - :mod:`repro.perf.cache` memoizes expensive graph-derived artifacts
   (partitions, normalized adjacencies, loaded datasets) keyed by the
   *content* of the inputs, so repeated experiment sweeps stop
-  recomputing them per call site;
+  recomputing them per call site; its :class:`DiskCache` is the
+  versioned persistent store the sweep engine
+  (:mod:`repro.eval.engine`) replays finished simulations from;
 - :mod:`repro.perf.timers` provides the lightweight wall-clock timers
   and counters the benchmark runner is built on;
 - :mod:`repro.perf.reference` preserves the original (seed) pure-Python
@@ -16,17 +18,22 @@ benchmark runner.
 
 from .cache import (
     ContentCache,
+    DiskCache,
     cache_stats,
     cached_load_dataset,
     cached_normalized_adjacency,
     cached_partition,
     clear_all_caches,
+    code_version,
+    content_key,
+    default_cache_dir,
     graph_fingerprint,
 )
 from .timers import Timer, TimingStats, time_callable
 
 __all__ = [
     "ContentCache",
+    "DiskCache",
     "Timer",
     "TimingStats",
     "cache_stats",
@@ -34,6 +41,9 @@ __all__ = [
     "cached_normalized_adjacency",
     "cached_partition",
     "clear_all_caches",
+    "code_version",
+    "content_key",
+    "default_cache_dir",
     "graph_fingerprint",
     "time_callable",
 ]

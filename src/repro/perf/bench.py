@@ -14,6 +14,12 @@ trajectory.  Kernels covered:
 - ``partition_graph`` — cold vs content-cache-hit timings of
   :func:`repro.perf.cached_partition`.
 
+On top of the kernels, the runner times an end-to-end ``full_sweep``
+through :class:`repro.eval.engine.SweepEngine`: one (workload ×
+accelerator) grid cold and serial, again warm from the on-disk cache,
+and again cold through the process pool — the entry CI asserts the
+warm-cache replay against (it must execute zero jobs).
+
 ``--quick`` restricts the sweep to the small size (used by CI smoke
 runs); the default sweep ends at the ~50k-node / ~500k-edge graph the
 acceptance criteria are stated against.  Reference implementations are
@@ -25,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from typing import Dict, List, Optional
@@ -156,16 +163,120 @@ def _bench_partition(graph, num_parts: int) -> dict:
             "cache": PARTITION_CACHE.stats()}
 
 
+# (workload × accelerator) grids for the end-to-end sweep benchmark.
+SWEEP_GRIDS: Dict[str, tuple] = {
+    "quick": ((("cora", "gcn"), ("citeseer", "gcn"), ("cora", "gin")),
+              ("hygcn", "gcnax", "mega")),
+    "full": ((("cora", "gcn"), ("citeseer", "gcn"), ("pubmed", "gcn"),
+              ("cora", "gin"), ("cora", "graphsage")),
+             ("hygcn", "gcnax", "grow", "sgcn", "mega")),
+}
+
+
+def _bench_full_sweep(quick: bool, workers: Optional[int] = None) -> dict:
+    """Cold-serial vs warm-disk vs cold-parallel end-to-end sweep timings.
+
+    Each phase starts from cleared in-process caches; the warm phase
+    reuses the serial phase's on-disk store (in a temp dir, so the
+    benchmark never touches the user's real cache), the parallel phase
+    gets a separate empty store so it is a genuinely cold run.
+
+    The default worker count is CPU-bounded and never oversubscribes: on
+    a single-core machine the engine's documented serial path runs (a
+    two-process pool there only adds fork/IPC cost — measured ~5% on
+    this sweep).  Pass ``--sweep-workers`` to force a pool size.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..eval.engine import SimJob, SweepEngine
+
+    workloads, accelerators = SWEEP_GRIDS["quick" if quick else "full"]
+    jobs = [SimJob.from_call(name, dataset, model)
+            for dataset, model in workloads for name in accelerators]
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+
+    # Cold phases are timed best-of-N with a fresh store per attempt:
+    # single cold runs swing ~15% with allocator/page-cache warmth and
+    # machine load, more than the effect under measurement.  Quick
+    # (smoke) runs take one attempt each — they gate functionality, not
+    # measurement stability.
+    cold_repeats = 1 if quick else 3
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        # Serial/parallel cold attempts are interleaved, alternating which
+        # goes first, so slow drift in machine load and allocator state
+        # biases both phases equally.
+        serial_times, parallel_times, executed_cold = [], [], 0
+        pool_flags = []
+        cold_reports = first_serial = None
+        for attempt in range(cold_repeats):
+            for kind in (("serial", "parallel") if attempt % 2 == 0
+                         else ("parallel", "serial")):
+                clear_all_caches()
+                engine = SweepEngine(
+                    workers=0 if kind == "serial" else workers,
+                    cache_dir=Path(tmp) / f"{kind}{attempt}")
+                engine.clear_memory()  # the workload memo is module-level
+                with Timer() as t:
+                    reports = engine.run(jobs)
+                if kind == "serial":
+                    serial_times.append(t.elapsed)
+                    executed_cold = engine.executed_jobs
+                    if first_serial is None:
+                        cold_reports, first_serial = reports, engine
+                else:
+                    parallel_times.append(t.elapsed)
+                    pool_flags.append(engine.pool_used)
+                if cold_reports is not None and reports is not cold_reports:
+                    assert all(reports[j] == cold_reports[j] for j in jobs), \
+                        f"{kind} sweep must match the first serial results"
+
+        first_serial.clear_memory()
+        clear_all_caches()
+        with Timer() as warm:
+            warm_reports = first_serial.run(jobs)
+        executed_warm = first_serial.executed_jobs
+        assert all(warm_reports[j] == cold_reports[j] for j in jobs), \
+            "warm-cache sweep must replay identical reports"
+    clear_all_caches()
+
+    cold_serial_s, cold_parallel_s = min(serial_times), min(parallel_times)
+    return {
+        "jobs": len(jobs),
+        "workloads": len(workloads),
+        "accelerators": len(accelerators),
+        "workers": workers,
+        # False = the 'parallel' phase actually ran the engine's serial
+        # path (single-CPU machine, --sweep-workers 1, or a pool-creation
+        # fallback): parallel_speedup then compares two serial runs, not
+        # a pool against one.  Reported by the engine, not the request.
+        "pool_used": bool(pool_flags) and all(pool_flags),
+        "cold_serial_s": cold_serial_s,
+        "warm_s": warm.elapsed,
+        "cold_parallel_s": cold_parallel_s,
+        "executed_cold_jobs": executed_cold,
+        "executed_warm_jobs": executed_warm,
+        "warm_speedup": _speedup(cold_serial_s, warm.elapsed),
+        "parallel_speedup": _speedup(cold_serial_s, cold_parallel_s),
+    }
+
+
 def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
-                   check: bool = True, seed: int = 0) -> dict:
+                   check: bool = True, seed: int = 0,
+                   quick_sweep: Optional[bool] = None,
+                   sweep_workers: Optional[int] = None) -> dict:
     """Time every hot kernel on each requested size; returns the report
     dict that ``main`` serializes to ``BENCH_repro.json``."""
+    if quick_sweep is None:  # small-size-only runs get the small sweep grid
+        quick_sweep = bool(sizes) and set(sizes) <= {"tiny", "small"}
     sizes = list(sizes or ("small", "medium", "large"))
     unknown = set(sizes) - set(BENCH_SIZES)
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v1",
+        "schema": "repro.perf.bench/v2",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -194,6 +305,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
             values, bits, repeats, check)
         kernels["partition_graph"][size] = _bench_partition(graph, num_parts)
     report["kernels"] = kernels
+    report["full_sweep"] = _bench_full_sweep(quick_sweep, workers=sweep_workers)
     return report
 
 
@@ -207,6 +319,19 @@ def _print_summary(report: dict) -> None:
                 fast, ref = row["warm_s"], row["cold_s"]
             print(f"{kernel:<26} {size:<8} {fast * 1e3:>8.2f}ms "
                   f"{ref * 1e3:>8.2f}ms {row['speedup']:>7.1f}x")
+    sweep = report.get("full_sweep")
+    if sweep:
+        print(f"\nfull_sweep: {sweep['jobs']} jobs "
+              f"({sweep['workloads']} workloads x {sweep['accelerators']} accelerators)")
+        print(f"  cold serial   {sweep['cold_serial_s'] * 1e3:>9.1f}ms "
+              f"({sweep['executed_cold_jobs']} jobs executed)")
+        print(f"  warm (disk)   {sweep['warm_s'] * 1e3:>9.1f}ms "
+              f"({sweep['executed_warm_jobs']} jobs executed, "
+              f"{sweep['warm_speedup']:.1f}x)")
+        pool_note = "" if sweep["pool_used"] else ", pool not used: serial path"
+        print(f"  cold parallel {sweep['cold_parallel_s'] * 1e3:>9.1f}ms "
+              f"({sweep['workers']} workers, {sweep['parallel_speedup']:.2f}x"
+              f"{pool_note})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -222,6 +347,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="timed repeats for the vectorized kernels")
     parser.add_argument("--no-check", action="store_true",
                         help="skip the equivalence assertions")
+    parser.add_argument("--sweep-workers", type=int, default=None,
+                        help="worker processes for the parallel full_sweep "
+                             "phase (default: min(4, cpus); 1 runs the "
+                             "engine's serial path instead of a pool)")
     parser.add_argument("--output", default="BENCH_repro.json",
                         help="output JSON path (default: %(default)s)")
     args = parser.parse_args(argv)
@@ -234,7 +363,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"cannot write --output {args.output!r}: {exc}")
     clear_all_caches()
     report = run_benchmarks(sizes=sizes, repeats=args.repeats,
-                            check=not args.no_check)
+                            check=not args.no_check,
+                            quick_sweep=True if args.quick else None,
+                            sweep_workers=args.sweep_workers)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
     _print_summary(report)

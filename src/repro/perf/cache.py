@@ -22,8 +22,14 @@ resets them for benchmarking.
 
 from __future__ import annotations
 
+import errno
 import hashlib
+import os
+import pickle
+import shutil
+import sys
 import weakref
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, TypeVar
 
 import numpy as np
@@ -35,12 +41,16 @@ from ..graphs.partition import PartitionResult, partition_graph
 
 __all__ = [
     "ContentCache",
+    "DiskCache",
     "graph_fingerprint",
     "cached_partition",
     "cached_normalized_adjacency",
     "cached_load_dataset",
     "cache_stats",
     "clear_all_caches",
+    "code_version",
+    "content_key",
+    "default_cache_dir",
 ]
 
 T = TypeVar("T")
@@ -63,6 +73,19 @@ class ContentCache:
             value = self._store[key] = compute()
             return value
         self.hits += 1
+        return value
+
+    def get(self, key, default: Optional[T] = None) -> Optional[T]:
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key, value: T) -> T:
+        self._store[key] = value
         return value
 
     def __len__(self) -> int:
@@ -154,3 +177,168 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
 def clear_all_caches() -> None:
     for cache in _ALL_CACHES:
         cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Versioned on-disk store (the persistence layer behind the sweep engine)
+# ----------------------------------------------------------------------
+
+# Bump when the pickle layout of stored artifacts changes incompatibly.
+DISK_SCHEMA_VERSION = 1
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Short digest of every ``repro`` source file plus the numeric
+    dependency versions.
+
+    The sweep engine's disk store is namespaced by this digest, so any
+    code change — or a numpy/scipy upgrade, whose RNG streams the
+    synthetic datasets depend on — invalidates all persisted simulation
+    artifacts at once.  Conservative, but a stale cache can never
+    survive a change that could alter results.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import scipy
+
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha1()
+        h.update(f"python{sys.version_info[0]}.{sys.version_info[1]};"
+                 f"numpy{np.__version__};scipy{scipy.__version__}".encode())
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def content_key(*parts) -> str:
+    """Hash a tuple of primitive key parts into a filename-safe digest."""
+    h = hashlib.sha1()
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"|")
+    return h.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class DiskCache:
+    """Pickle-backed persistent cache with hit/miss accounting.
+
+    Entries live under ``<directory>/<name>/v<schema>/<namespace>/
+    <key>.pkl`` and are written atomically (tmp file +
+    :func:`os.replace`), so concurrent processes sharing one store can
+    only ever observe complete entries.  The namespace (the sweep engine
+    passes :func:`code_version`) is a path component rather than part of
+    the hashed key, so entries orphaned by a code change sit in their own
+    directory and are pruned on the first store into a new namespace
+    instead of accumulating forever.  An unwritable store (e.g. a
+    read-only shared mount) stops storing but keeps serving reads;
+    corrupt entries are dropped and recomputed.
+    """
+
+    def __init__(self, name: str, directory: Optional[os.PathLike] = None,
+                 namespace: str = "") -> None:
+        self.name = name
+        base = Path(directory) if directory is not None else default_cache_dir()
+        self._version_root = base / name / f"v{DISK_SCHEMA_VERSION}"
+        self.directory = (self._version_root / namespace if namespace
+                          else self._version_root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._write_disabled = False
+        self._pruned = not namespace
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str, default: Optional[T] = None) -> Optional[T]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except Exception:  # corrupt/truncated entry: drop and recompute
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Persist one entry; a failed write never fails the caller.
+
+        An :class:`OSError` (read-only store) disables further writes;
+        any other failure (e.g. an unpicklable value) is per-entry and
+        leaves the store active.
+        """
+        if self._write_disabled:
+            return
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.stores += 1
+            self._prune_stale_namespaces()
+        except Exception as exc:
+            # Latch only for genuinely read-only stores; transient
+            # failures (e.g. ENOSPC) and unpicklable values skip this
+            # entry but keep the store active.
+            if isinstance(exc, OSError) and exc.errno in (
+                    errno.EROFS, errno.EACCES, errno.EPERM):
+                self._write_disabled = True
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _prune_stale_namespaces(self) -> None:
+        """Drop sibling namespace directories (previous code versions)."""
+        if self._pruned:
+            return
+        self._pruned = True
+        try:
+            for entry in self._version_root.iterdir():
+                if entry != self.directory and entry.is_dir():
+                    shutil.rmtree(entry, ignore_errors=True)
+        except OSError:
+            pass
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+        self.hits = self.misses = self.stores = 0
+        self._write_disabled = False
+
+    def stats(self) -> Dict[str, int]:
+        try:
+            entries = sum(1 for _ in self.directory.glob("*.pkl"))
+        except OSError:
+            entries = 0
+        return {"entries": entries, "hits": self.hits, "misses": self.misses,
+                "stores": self.stores}

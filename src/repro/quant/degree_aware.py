@@ -180,6 +180,12 @@ class DegreeAwareQuantizer(QuantHooks):
             SGD(self.bit_parameters(), lr=cfg.bits_lr, momentum=0.0),
         ]
 
+    def _group_bit_matrix(self) -> np.ndarray:
+        """(num_layers, num_groups) rounded integer bitwidths, stacked."""
+        cfg = self.config
+        stacked = np.stack([t.data for t in self.bits])
+        return np.round(np.clip(stacked, cfg.min_bits, cfg.max_bits))
+
     def node_bitwidths(self, layer: int) -> np.ndarray:
         """Integer bitwidth allocated to every node at ``layer``."""
         cfg = self.config
@@ -197,12 +203,16 @@ class DegreeAwareQuantizer(QuantHooks):
         return np.clip(self.bits[layer].data, cfg.min_bits, cfg.max_bits).copy()
 
     def average_bits(self) -> float:
-        """Dimension-weighted average feature bitwidth across layers."""
-        total_bits, total_vals = 0.0, 0.0
-        for layer, dim in enumerate(self.layer_dims):
-            bits = self.node_bitwidths(layer).astype(np.float64)
-            total_bits += bits.sum() * dim
-            total_vals += len(bits) * dim
+        """Dimension-weighted average feature bitwidth across layers.
+
+        One stacked (layer, group) computation: summing rounded group
+        bitwidths weighted by group node counts equals summing over every
+        node, without materializing the per-node arrays per layer.
+        """
+        dims = np.asarray(self.layer_dims, dtype=np.float64)
+        per_layer_bits = self._group_bit_matrix() @ self._group_counts
+        total_bits = float(per_layer_bits @ dims)
+        total_vals = float(self._group_counts.sum() * dims.sum())
         return total_bits / total_vals
 
     def compression_ratio(self) -> float:
@@ -211,10 +221,9 @@ class DegreeAwareQuantizer(QuantHooks):
 
     def feature_memory_kb(self) -> float:
         """Current total feature memory under the learned allocation."""
-        return sum(
-            self.node_bitwidths(layer).astype(float).sum() * dim / ETA
-            for layer, dim in enumerate(self.layer_dims)
-        )
+        dims = np.asarray(self.layer_dims, dtype=np.float64)
+        per_layer_bits = self._group_bit_matrix() @ self._group_counts
+        return float((per_layer_bits * dims / ETA).sum())
 
     def quantize_feature_matrix(self, x: np.ndarray, layer: int) -> np.ndarray:
         """Integer codes of a feature map under the learned parameters.

@@ -108,7 +108,7 @@ class AcceleratorModel:
         compute = sum(c.compute_cycles for c in layer_costs)
         traffic = DramTraffic()
         for c in layer_costs:
-            traffic = traffic + c.traffic
+            traffic.accumulate(c.traffic)
         dram_cycles = self.dram.cycles(traffic)
 
         hidden = self.dram_overlap * compute

@@ -62,6 +62,20 @@ class DramTraffic:
             merged,
         )
 
+    def accumulate(self, other: "DramTraffic") -> "DramTraffic":
+        """In-place ``+=``: accumulation without per-layer dict churn.
+
+        ``other`` is left untouched; only call this on a traffic object
+        the caller owns (accumulators and freshly returned accesses),
+        never on one handed out by a report.
+        """
+        self.transactions += other.transactions
+        self.transferred_bytes += other.transferred_bytes
+        self.useful_bytes += other.useful_bytes
+        for key, value in other.by_purpose.items():
+            self.by_purpose[key] = self.by_purpose.get(key, 0.0) + value
+        return self
+
 
 class DramModel:
     """Transaction-level DRAM access accounting."""

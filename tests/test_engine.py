@@ -1,0 +1,205 @@
+"""Tests for the sweep engine: parallel/serial identity, disk cache
+round trips, and content-keyed invalidation."""
+
+import pytest
+
+from repro.eval.engine import SimJob, SweepEngine, get_engine
+from repro.eval.experiments import clear_caches, simulate
+from repro.perf.cache import DiskCache, cached_load_dataset, content_key
+from repro.sim.accelerator import SimReport
+from repro.sim.workload import build_workload
+
+JOBS = [SimJob.from_call(name, dataset, "gcn")
+        for dataset in ("cora", "citeseer")
+        for name in ("hygcn", "gcnax", "mega")]
+
+
+class TestSimJob:
+    def test_precision_pairing(self):
+        assert SimJob.from_call("mega", "cora", "gcn").precision == "degree-aware"
+        assert SimJob.from_call("hygcn-8bit", "cora", "gcn").precision == "int8"
+        assert SimJob.from_call("hygcn", "cora", "gcn").precision == "fp32"
+
+    def test_variant_kwargs_sorted_and_hashable(self):
+        a = SimJob.from_call("mega", "cora", "gcn",
+                             {"storage": "bitmap", "condense": False})
+        b = SimJob.from_call("mega", "cora", "gcn",
+                             {"condense": False, "storage": "bitmap"})
+        assert a == b and hash(a) == hash(b)
+        assert a.variant_label == "condense=False+storage=bitmap"
+
+    def test_variant_on_baseline_rejected(self, sweep_engine):
+        job = SimJob.from_call("hygcn", "cora", "gcn", {"condense": False})
+        with pytest.raises(ValueError):
+            sweep_engine.run([job])
+
+
+class TestSweepEngine:
+    def test_matches_pre_engine_direct_path(self, sweep_engine):
+        """Engine results are bit-identical to directly-built models."""
+        from repro.baselines import build_baseline
+        from repro.mega import MegaModel
+
+        graph = cached_load_dataset("cora", scale="sim")
+        direct_base = build_baseline("gcnax").simulate(
+            build_workload("cora", "gcn", "fp32", graph=graph))
+        direct_mega = MegaModel().simulate(
+            build_workload("cora", "gcn", "degree-aware", graph=graph))
+        assert simulate("gcnax", "cora", "gcn") == direct_base
+        assert simulate("mega", "cora", "gcn") == direct_mega
+
+    def test_batch_deduplicates(self, sweep_engine):
+        job = JOBS[0]
+        reports = sweep_engine.run([job, job, job])
+        assert sweep_engine.executed_jobs == 1
+        assert isinstance(reports[job], SimReport)
+
+    def test_parallel_identical_to_serial(self, sweep_engine, tmp_path):
+        serial = sweep_engine.run(JOBS)
+        parallel_engine = SweepEngine(workers=2,
+                                      cache_dir=tmp_path / "parallel-cache")
+        parallel = parallel_engine.run(JOBS)
+        assert parallel_engine.executed_jobs == len(JOBS)
+        assert parallel_engine.pool_used
+        assert not sweep_engine.pool_used
+        for job in JOBS:
+            assert parallel[job] == serial[job], job
+
+    def test_disk_cache_hit_returns_equal_report(self, sweep_engine, tmp_path):
+        job = SimJob.from_call("gcnax", "cora", "gcn")
+        cold = sweep_engine.run([job])[job]
+        # A brand-new engine over the same store must replay from disk.
+        replay_engine = SweepEngine(workers=0, cache_dir=tmp_path / "sweep-cache")
+        warm = replay_engine.run([job])[job]
+        assert replay_engine.executed_jobs == 0
+        assert warm == cold
+        assert warm is not cold  # unpickled, not the same object
+
+    def test_memory_cache_returns_same_object(self, sweep_engine):
+        a = simulate("gcnax", "cora", "gcn")
+        b = simulate("gcnax", "cora", "gcn")
+        assert a is b
+
+    def test_failed_job_keeps_completed_work(self, sweep_engine, tmp_path):
+        good = SimJob.from_call("gcnax", "cora", "gcn")
+        bad = SimJob.from_call("gcnax", "citeseer", "gcn", {"condense": False})
+        with pytest.raises(ValueError):
+            sweep_engine.run([good, bad])
+        # the good job was persisted before the failure surfaced
+        replay = SweepEngine(workers=0, cache_dir=tmp_path / "sweep-cache")
+        replay.run([good])
+        assert replay.executed_jobs == 0
+
+    def test_parallel_failed_chunk_keeps_other_chunks(self, sweep_engine, tmp_path):
+        good = SimJob.from_call("gcnax", "cora", "gcn")
+        bad = SimJob.from_call("gcnax", "citeseer", "gcn", {"condense": False})
+        parallel_engine = SweepEngine(workers=2, cache_dir=tmp_path / "par-cache")
+        with pytest.raises(ValueError):
+            parallel_engine.run([good, bad])
+        replay = SweepEngine(workers=0, cache_dir=tmp_path / "par-cache")
+        replay.run([good])
+        assert replay.executed_jobs == 0
+
+    def test_workload_honors_every_precision(self, sweep_engine):
+        """Non-standard precisions build real workloads, never fp32 proxies."""
+        wl = sweep_engine.workload("cora", "gcn", "uniform-int8")
+        assert wl.precision == "uniform-int8"
+        assert (wl.layers[0].input_bits == 8).all()
+        assert wl.layers[0].weight_bits == 8
+        with pytest.raises(ValueError):
+            sweep_engine.workload("cora", "gcn", "float16")
+
+    def test_workload_disk_round_trip(self, sweep_engine, tmp_path):
+        wl = sweep_engine.workload("cora", "gcn", "degree-aware")
+        replay_engine = SweepEngine(workers=0, cache_dir=tmp_path / "sweep-cache")
+        wl2 = replay_engine.workload("cora", "gcn", "degree-aware")
+        assert wl2.name == wl.name
+        assert (wl2.adjacency != wl.adjacency).nnz == 0
+        for l2, l1 in zip(wl2.layers, wl.layers):
+            assert (l2.input_bits == l1.input_bits).all()
+            assert (l2.input_nnz == l1.input_nnz).all()
+
+
+class TestCacheInvalidation:
+    def test_fingerprint_stable(self, sweep_engine):
+        job = SimJob.from_call("mega", "cora", "gcn")
+        assert sweep_engine.job_fingerprint(job) == sweep_engine.job_fingerprint(job)
+
+    def test_fingerprint_tracks_accelerator_config(self, sweep_engine):
+        base = sweep_engine.job_fingerprint(SimJob.from_call("mega", "cora", "gcn"))
+        ablated = sweep_engine.job_fingerprint(
+            SimJob.from_call("mega", "cora", "gcn", {"condense": False}))
+        other_acc = sweep_engine.job_fingerprint(
+            SimJob.from_call("hygcn", "cora", "gcn"))
+        target = sweep_engine.job_fingerprint(
+            SimJob.from_call("mega", "cora", "gcn", target_average_bits=4.0))
+        assert len({base, ablated, other_acc, target}) == 4
+
+    def test_fingerprint_tracks_graph_content(self, sweep_engine):
+        same = SimJob.from_call("mega", "cora", "gcn")
+        other_dataset = SimJob.from_call("mega", "citeseer", "gcn")
+        other_seed = SimJob.from_call("mega", "cora", "gcn", seed=1)
+        fps = {sweep_engine.job_fingerprint(j)
+               for j in (same, other_dataset, other_seed)}
+        assert len(fps) == 3
+        assert (sweep_engine.dataset_fingerprint("cora")
+                != sweep_engine.dataset_fingerprint("cora", seed=1))
+
+    def test_clear_caches_resets_engine_state(self, sweep_engine):
+        simulate("gcnax", "cora", "gcn")
+        assert sweep_engine.executed_jobs == 1
+        clear_caches()
+        assert sweep_engine.executed_jobs == 0
+        assert len(sweep_engine.reports) == 0
+        # Disk survives a memory clear: the rerun replays, not recomputes.
+        simulate("gcnax", "cora", "gcn")
+        assert sweep_engine.executed_jobs == 0
+
+
+class TestDiskCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        key = content_key("a", 1, (2, 3))
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1.5})
+        assert cache.get(key) == {"x": 1.5}
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert stats["misses"] == 1 and stats["stores"] == 1
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        key = content_key("broken")
+        cache.put(key, [1, 2, 3])
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get_or_compute(key, lambda: "recomputed") == "recomputed"
+        assert cache.get(key) == "recomputed"
+
+    def test_stale_namespace_pruned_on_store(self, tmp_path):
+        old = DiskCache("unit", directory=tmp_path, namespace="oldver")
+        old.put(content_key("k"), "stale")
+        new = DiskCache("unit", directory=tmp_path, namespace="newver")
+        assert new.get(content_key("k")) is None  # namespaces are disjoint
+        new.put(content_key("k"), "fresh")
+        assert not old.directory.exists()  # previous version pruned
+        assert new.get(content_key("k")) == "fresh"
+
+    def test_unpicklable_value_skipped_without_disabling(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        cache.put(content_key("bad"), lambda: None)  # not picklable
+        assert cache.get(content_key("bad")) is None
+        cache.put(content_key("good"), 7)  # store must still be active
+        assert cache.get(content_key("good")) == 7
+        assert not list(cache.directory.glob("*.tmp.*"))  # no leaked tmp files
+
+    def test_unwritable_store_degrades_gracefully(self, tmp_path):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")
+        cache = DiskCache("unit", directory=target / "nested")
+        cache.put(content_key("k"), 1)  # cannot mkdir below a file
+        assert cache.get(content_key("k")) is None
+        assert cache.get_or_compute(content_key("k"), lambda: 41 + 1) == 42
+
+
+def test_default_engine_is_shared():
+    assert get_engine() is get_engine()

@@ -284,9 +284,13 @@ class TestTimersAndBench:
             row = report["kernels"][kernel]["tiny"]
             assert row["speedup"] > 0
         # the report round-trips through JSON
+        sweep = report["full_sweep"]
+        assert sweep["executed_warm_jobs"] == 0
+        assert sweep["executed_cold_jobs"] == sweep["jobs"]
+        assert sweep["warm_speedup"] > 1.0
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v1"
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v2"
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):
