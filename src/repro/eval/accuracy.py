@@ -1,8 +1,15 @@
 """Accuracy-experiment runners (Tables I and VI, Fig. 3).
 
 These train real (scaled) models with the numpy stack, so they are the
-slow experiments; ``quick=True`` shrinks epochs for CI-style runs while
-preserving the orderings the paper reports.
+slow experiments.  Every runner declares its runs as a deduplicated
+batch of :class:`~repro.eval.engine.TrainJob` handed to the shared
+:class:`~repro.eval.engine.SweepEngine`: FP32 baselines shared between
+tables train exactly once, warm reruns replay finished trainings from
+the on-disk cache (training zero models), and cold grids can fan out
+over worker processes (``REPRO_SWEEP_WORKERS``).  ``quick=True``
+shrinks epochs for CI-style runs while preserving the orderings the
+paper reports; ``config`` overrides the budget outright (tests and
+benchmarks use tiny budgets).
 """
 
 from __future__ import annotations
@@ -11,21 +18,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..graphs import Graph, load_dataset
-from ..graphs.statistics import DEGREE_GROUPS, average_feature_by_degree
-from ..nn import TrainConfig, build_model
-from ..quant import (
-    DegreeAwareConfig,
-    run_degree_aware,
-    run_degree_quant,
-    run_fp32,
-)
-from ..tensor import Tensor, no_grad
+from ..nn import TrainConfig
+from ..quant import DegreeAwareConfig
+from .engine import TrainJob, get_engine
 
 __all__ = [
     "train_config",
+    "degree_aware_config",
     "dq_bitwidth_sweep",
     "accuracy_comparison",
+    "accuracy_grid",
     "degree_feature_magnitudes",
 ]
 
@@ -49,15 +51,23 @@ def degree_aware_config(quick: bool = True,
 
 def dq_bitwidth_sweep(dataset: str = "citeseer", model: str = "gin",
                       bitwidths: Sequence[int] = (8, 7, 6, 5, 4),
-                      quick: bool = True, seed: int = 0) -> Dict[str, Dict[str, float]]:
+                      quick: bool = True, seed: int = 0,
+                      config: Optional[TrainConfig] = None,
+                      ) -> Dict[str, Dict[str, float]]:
     """Table I: DQ accuracy/CR on CiteSeer GIN across bitwidths."""
-    graph = load_dataset(dataset, seed=seed)
-    config = train_config(quick)
-    out: Dict[str, Dict[str, float]] = {}
-    fp32 = run_fp32(model, graph, config=config, seed=seed)
-    out["fp32"] = {"accuracy": fp32.test_accuracy, "cr": 1.0}
+    config = config or train_config(quick)
+    jobs: Dict[str, TrainJob] = {
+        "fp32": TrainJob.from_call(dataset, model, "fp32", config=config,
+                                   seed=seed)}
     for bits in bitwidths:
-        run = run_degree_quant(model, graph, bits=bits, config=config, seed=seed)
+        jobs[f"{bits}bit"] = TrainJob.from_call(
+            dataset, model, "dq", {"bits": int(bits)}, config=config,
+            seed=seed)
+    results = get_engine().run(list(jobs.values()))
+    out: Dict[str, Dict[str, float]] = {
+        "fp32": {"accuracy": results[jobs["fp32"]].test_accuracy, "cr": 1.0}}
+    for bits in bitwidths:
+        run = results[jobs[f"{bits}bit"]]
         out[f"{bits}bit"] = {"accuracy": run.test_accuracy,
                              "cr": run.compression_ratio}
     return out
@@ -66,48 +76,103 @@ def dq_bitwidth_sweep(dataset: str = "citeseer", model: str = "gin",
 def accuracy_comparison(cases: Sequence[Tuple[str, str]] = (("cora", "gcn"),),
                         quick: bool = True, seed: int = 0,
                         target_average_bits: float = 2.5,
+                        config: Optional[TrainConfig] = None,
                         ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Table VI: FP32 vs DQ-INT4 vs Degree-Aware per (dataset, model)."""
-    config = train_config(quick)
+    config = config or train_config(quick)
+    quant_config = degree_aware_config(quick, target_average_bits)
+    jobs: Dict[tuple, TrainJob] = {}
+    for dataset, model in cases:
+        jobs[(dataset, model, "fp32")] = TrainJob.from_call(
+            dataset, model, "fp32", config=config, seed=seed)
+        jobs[(dataset, model, "dq-int4")] = TrainJob.from_call(
+            dataset, model, "dq", {"bits": 4}, config=config, seed=seed)
+        jobs[(dataset, model, "degree-aware")] = TrainJob.from_call(
+            dataset, model, "degree-aware", {"quant_config": quant_config},
+            config=config, seed=seed)
+    results = get_engine().run(list(jobs.values()))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for dataset, model in cases:
-        graph = load_dataset(dataset, seed=seed)
+        fp32 = results[jobs[(dataset, model, "fp32")]]
+        dq = results[jobs[(dataset, model, "dq-int4")]]
+        ours = results[jobs[(dataset, model, "degree-aware")]]
+        out[f"{dataset}-{model}"] = {
+            "fp32": {"accuracy": fp32.test_accuracy, "avg_bits": 32.0,
+                     "cr": 1.0},
+            "dq-int4": {"accuracy": dq.test_accuracy, "avg_bits": 4.0,
+                        "cr": dq.compression_ratio},
+            "degree-aware": {"accuracy": ours.test_accuracy,
+                             "avg_bits": ours.average_bits,
+                             "cr": ours.compression_ratio},
+        }
+    return out
+
+
+def accuracy_grid(cases: Sequence[Tuple[str, str]] = (("cora", "gcn"),
+                                                      ("citeseer", "gcn"),
+                                                      ("cora", "gat")),
+                  flows: Sequence[str] = ("fp32", "dq", "degree-aware"),
+                  seeds: Sequence[int] = (0, 1, 2),
+                  quick: bool = True,
+                  target_average_bits: float = 2.5,
+                  config: Optional[TrainConfig] = None,
+                  ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Paper-style mean ± std grid over (case × flow × seed).
+
+    The full multi-seed protocol the paper reports (Tables I/VI footnote)
+    — affordable now that the whole grid is one deduplicated job batch:
+    warm cells replay from disk and cold cells fan out over the worker
+    pool.  Includes GAT (Discussion, Sec. VII-3) by default.
+    """
+    config = config or train_config(quick)
+    flow_kwargs: Dict[str, Dict[str, object]] = {
+        "dq": {"bits": 4},
+        "degree-aware": {
+            "quant_config": degree_aware_config(quick, target_average_bits)},
+    }
+    jobs: Dict[tuple, TrainJob] = {}
+    for dataset, model in cases:
+        for flow in flows:
+            for seed in seeds:
+                jobs[(dataset, model, flow, seed)] = TrainJob.from_call(
+                    dataset, model, flow, flow_kwargs.get(flow),
+                    config=config, seed=seed)
+    results = get_engine().run(list(jobs.values()))
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset, model in cases:
         row: Dict[str, Dict[str, float]] = {}
-        fp32 = run_fp32(model, graph, config=config, seed=seed)
-        row["fp32"] = {"accuracy": fp32.test_accuracy, "avg_bits": 32.0, "cr": 1.0}
-        dq = run_degree_quant(model, graph, bits=4, config=config, seed=seed)
-        row["dq-int4"] = {"accuracy": dq.test_accuracy, "avg_bits": 4.0,
-                          "cr": dq.compression_ratio}
-        ours = run_degree_aware(
-            model, graph,
-            quant_config=degree_aware_config(quick, target_average_bits),
-            config=config, seed=seed)
-        row["degree-aware"] = {"accuracy": ours.test_accuracy,
-                               "avg_bits": ours.average_bits,
-                               "cr": ours.compression_ratio}
+        for flow in flows:
+            runs = [results[jobs[(dataset, model, flow, seed)]]
+                    for seed in seeds]
+            accs = [run.test_accuracy for run in runs]
+            row[flow] = {
+                "mean_accuracy": float(np.mean(accs)),
+                "std_accuracy": float(np.std(accs)),
+                "mean_avg_bits": float(np.mean([run.average_bits
+                                                for run in runs])),
+                "mean_cr": float(np.mean([run.compression_ratio
+                                          for run in runs])),
+                "runs": len(runs),
+            }
         out[f"{dataset}-{model}"] = row
     return out
 
 
 def degree_feature_magnitudes(dataset: str = "cora", models=("gcn", "gin"),
                               quick: bool = True, seed: int = 0,
+                              config: Optional[TrainConfig] = None,
                               ) -> Dict[str, List[float]]:
     """Fig. 3: mean aggregated-feature magnitude per in-degree group.
 
-    Trains each model briefly, then measures |features| after the first
-    aggregation, bucketed by the paper's in-degree groups.
+    Trains each model briefly (via the ``feature-magnitudes`` flow, so
+    repeated figure runs replay from the cache), then measures
+    |features| after the first aggregation, bucketed by the paper's
+    in-degree groups.
     """
-    from ..nn import train
-
-    graph = load_dataset(dataset, seed=seed)
-    config = TrainConfig(epochs=30 if quick else 120, patience=1000)
-    out: Dict[str, List[float]] = {}
-    for model_name in models:
-        model = build_model(model_name, graph.feature_dim, graph.num_classes,
-                            seed=seed)
-        train(model, graph, config=config)
-        model.eval()
-        with no_grad():
-            hidden = model.hidden_features(Tensor(graph.features), graph)
-        out[model_name] = average_feature_by_degree(graph, hidden.data).tolist()
-    return out
+    config = config or TrainConfig(epochs=30 if quick else 120, patience=1000)
+    jobs = {model: TrainJob.from_call(dataset, model, "feature-magnitudes",
+                                      config=config, seed=seed)
+            for model in models}
+    results = get_engine().run(list(jobs.values()))
+    return {model: np.asarray(results[jobs[model]]).tolist()
+            for model in models}

@@ -1,11 +1,15 @@
-"""Declarative (workload × accelerator) sweep engine.
+"""Declarative job engine for simulation *and* training sweeps.
 
 Every table and figure in :mod:`repro.eval.experiments` boils down to a
-set of independent ``simulate one workload on one accelerator`` jobs.
-This module makes that set explicit — a :class:`SimJob` names the
-accelerator, dataset, model, precision variant and quantization target —
-and :class:`SweepEngine` executes deduplicated batches through three
-layers:
+set of independent ``simulate one workload on one accelerator`` jobs,
+and every accuracy table in :mod:`repro.eval.accuracy` to a set of
+``train one (dataset, model) under one quantization flow and seed``
+jobs.  This module makes both sets explicit — a :class:`SimJob` names
+the accelerator, dataset, model, precision variant and quantization
+target; a :class:`TrainJob` names the dataset, model, quantization flow
+(with frozen flow kwargs), seed and a :class:`~repro.nn.TrainConfig`
+digest — and :class:`SweepEngine` executes deduplicated batches of
+either kind through three layers:
 
 1. an in-process memory cache (same object returned for repeat jobs, so
    figure scripts sharing a sweep stay cheap and identity-stable);
@@ -18,11 +22,18 @@ layers:
    invalidates every entry, and stale-version entries are pruned rather
    than accumulated;
 3. actual execution, either serially or fanned out over a
-   ``ProcessPoolExecutor`` with jobs chunked per dataset (workers are
-   forked *after* the parent resolved the dataset fingerprints, so they
-   inherit the warm dataset caches and only pay for workload build +
-   simulation).  Any failure to stand up the pool falls back to the
-   serial path.
+   ``ProcessPoolExecutor`` — simulation jobs chunked per dataset (so a
+   worker amortizes dataset + workload construction), training jobs one
+   per chunk (each is minutes of work; the (case × flow × seed) grid is
+   the parallel axis).  Workers are forked *after* the parent resolved
+   the dataset fingerprints, so they inherit the warm dataset caches.
+   Any failure to stand up the pool falls back to the serial path.
+
+Training results are bit-identical across the serial, parallel and
+cache-replay paths: every flow seeds its own RNG streams from the job's
+``seed`` and inference forwards are side-effect-free, so a ``TrainJob``
+is a pure function of its fields plus the code version that namespaces
+the store.
 
 Environment knobs:
 
@@ -42,6 +53,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from ..nn import TrainConfig
 from ..perf.cache import (
     ContentCache,
     DiskCache,
@@ -50,10 +62,11 @@ from ..perf.cache import (
     content_key,
     graph_fingerprint,
 )
+from ..quant.flows import TRAIN_FLOWS, freeze_value, thaw_value
 from ..sim.accelerator import SimReport
 from ..sim.workload import Workload, build_workload
 
-__all__ = ["SimJob", "SweepEngine", "get_engine", "set_engine",
+__all__ = ["SimJob", "TrainJob", "SweepEngine", "get_engine", "set_engine",
            "temporary_cache_dir"]
 
 T = TypeVar("T")
@@ -100,6 +113,52 @@ class SimJob:
         return "+".join(f"{k}={v}" for k, v in self.variant)
 
 
+@dataclass(frozen=True)
+class TrainJob:
+    """One ``train (dataset, model) under flow with seed`` request.
+
+    ``flow_kwargs`` and ``config`` are stored in the frozen primitive
+    form produced by :func:`repro.quant.flows.freeze_value`, so a job is
+    hashable (memory cache key), repr-stable (disk content key) and
+    picklable (pool workers); :meth:`from_call` freezes, execution
+    thaws.
+    """
+
+    dataset: str
+    model: str
+    flow: str
+    flow_kwargs: Tuple = ()
+    config: Tuple = ()
+    seed: int = 0
+    scale: str = "train"
+    # Seed of the synthetic dataset generation; None follows ``seed``
+    # (the tables' convention: one seed drives graph + model init).
+    # ``train_multiple_seeds`` pins it so several model seeds share one
+    # graph.
+    graph_seed: Optional[int] = None
+
+    @classmethod
+    def from_call(cls, dataset: str, model: str, flow: str,
+                  flow_kwargs: Optional[Dict[str, object]] = None,
+                  config: Optional[TrainConfig] = None,
+                  seed: int = 0, scale: str = "train",
+                  graph_seed: Optional[int] = None) -> "TrainJob":
+        if flow not in TRAIN_FLOWS:
+            raise ValueError(
+                f"unknown training flow {flow!r}; expected one of "
+                f"{sorted(TRAIN_FLOWS)}")
+        frozen_kwargs = tuple(sorted(
+            (key, freeze_value(value))
+            for key, value in (flow_kwargs or {}).items()))
+        return cls(dataset.lower(), model.lower(), flow, frozen_kwargs,
+                   freeze_value(config or TrainConfig()), seed, scale,
+                   graph_seed)
+
+    @property
+    def dataset_seed(self) -> int:
+        return self.seed if self.graph_seed is None else self.graph_seed
+
+
 # Worker/serial-side memo of built workloads, shared by every job of one
 # (dataset, model, precision) in a process.  Module-level (not on the
 # engine) so forked pool workers reuse whatever the parent already built.
@@ -130,8 +189,20 @@ def _build_job_workload(job: SimJob) -> Workload:
                                   job.target_average_bits, job.seed)
 
 
-def _execute_job(job: SimJob) -> SimReport:
-    """Build the accelerator model for ``job`` and simulate its workload."""
+def _execute_train_job(job: TrainJob):
+    """Load the training-scale graph and run the job's flow on it."""
+    graph = cached_load_dataset(job.dataset, scale=job.scale,
+                                seed=job.dataset_seed)
+    config = thaw_value(job.config)
+    kwargs = {key: thaw_value(value) for key, value in job.flow_kwargs}
+    return TRAIN_FLOWS[job.flow](job.model, graph, config=config,
+                                 seed=job.seed, **kwargs)
+
+
+def _execute_job(job):
+    """Execute one job of either kind (dispatch on the job type)."""
+    if isinstance(job, TrainJob):
+        return _execute_train_job(job)
     workload = _build_job_workload(job)
     if job.accelerator == "mega":
         from ..mega import MegaModel
@@ -146,19 +217,32 @@ def _execute_job(job: SimJob) -> SimReport:
     return build_baseline(job.accelerator).simulate(workload)
 
 
-def _execute_chunk(jobs: Sequence[SimJob]) -> List[SimReport]:
-    """Pool entry point: run one dataset-grouped chunk of jobs."""
+def _execute_chunk(jobs: Sequence) -> List:
+    """Pool entry point: run one chunk of jobs."""
     return [_execute_job(job) for job in jobs]
 
 
+def _chunk_key(job):
+    """Pool chunking granularity.
+
+    Simulation jobs group per (dataset, seed) so one worker amortizes
+    dataset/workload construction across accelerators; training jobs are
+    each their own chunk — a single training run is the expensive unit
+    and the (case × flow × seed) grid is the axis worth parallelizing.
+    """
+    if isinstance(job, TrainJob):
+        return job
+    return (job.dataset, job.seed)
+
+
 class SweepEngine:
-    """Deduplicating, caching, optionally parallel simulation runner."""
+    """Deduplicating, caching, optionally parallel job runner."""
 
     def __init__(self, workers: Optional[int] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk: bool = True) -> None:
         self.workers = _env_workers() if workers is None else max(int(workers), 0)
-        self.reports = ContentCache("sim_reports")
+        self.reports = ContentCache("job_results")
         self.tables = ContentCache("tables")
         # The code-version digest namespaces the store as a directory, so
         # entries orphaned by code changes are pruned, not accumulated.
@@ -166,9 +250,17 @@ class SweepEngine:
             DiskCache("sweep", directory=cache_dir, namespace=code_version())
             if use_disk else None)
         self.executed_jobs = 0
+        # Models actually trained by this engine (TrainJobs that reached
+        # the execute layer; cache-resolved jobs never count).
+        self.executed_train_jobs = 0
         # True once a worker pool actually executed jobs (stays False
         # when the serial path or a fallback ran instead).
         self.pool_used = False
+
+    def _note_executed(self, jobs: Sequence) -> None:
+        self.executed_jobs += len(jobs)
+        self.executed_train_jobs += sum(
+            1 for job in jobs if isinstance(job, TrainJob))
 
     def _memo_with_disk(self, key: tuple, compute: Callable[[], T]) -> T:
         """Memory-then-disk memoization of a derived artifact."""
@@ -178,24 +270,33 @@ class SweepEngine:
             key, lambda: self.disk.get_or_compute(content_key(*key), compute))
 
     # -- fingerprints ------------------------------------------------------
-    def dataset_fingerprint(self, dataset: str, seed: int = 0) -> str:
-        """CSR fingerprint of the simulated graph for ``dataset``.
+    def dataset_fingerprint(self, dataset: str, seed: int = 0,
+                            scale: str = "sim") -> str:
+        """CSR fingerprint of the ``scale`` graph for ``dataset``.
 
-        Memoized on disk keyed by (dataset, seed) in the code-versioned
-        namespace: synthetic generation is deterministic in those, so
-        warm-cache runs resolve the fingerprint without regenerating the
-        graph at all.
+        Memoized on disk keyed by (dataset, scale, seed) in the
+        code-versioned namespace: synthetic generation is deterministic
+        in those, so warm-cache runs resolve the fingerprint without
+        regenerating the graph at all.
         """
         def compute() -> str:
-            graph = cached_load_dataset(dataset, scale="sim", seed=seed)
+            graph = cached_load_dataset(dataset, scale=scale, seed=seed)
             return graph_fingerprint(graph.adjacency)
 
-        key = ("graph-fp", dataset.lower(), "sim", seed)
+        key = ("graph-fp", dataset.lower(), scale, seed)
         return self._memo_with_disk(key, compute)
 
-    def job_fingerprint(self, job: SimJob) -> str:
-        """Disk key of one job: graph content + accelerator config (the
-        code version scopes the store's namespace directory)."""
+    def job_fingerprint(self, job) -> str:
+        """Disk key of one job: input-graph content + the full job
+        recipe (the code version — covering every model/flow/trainer
+        source file — scopes the store's namespace directory)."""
+        if isinstance(job, TrainJob):
+            return content_key(
+                "train-result",
+                self.dataset_fingerprint(job.dataset, job.dataset_seed,
+                                         job.scale),
+                job.model, job.flow, job.flow_kwargs, job.config, job.seed,
+            )
         return content_key(
             "sim-report",
             self.dataset_fingerprint(job.dataset, job.seed),
@@ -204,13 +305,13 @@ class SweepEngine:
         )
 
     # -- execution ---------------------------------------------------------
-    def run(self, jobs: Sequence[SimJob],
-            workers: Optional[int] = None) -> Dict[SimJob, SimReport]:
-        """Execute a batch of jobs, deduplicated, through the cache stack."""
+    def run(self, jobs: Sequence, workers: Optional[int] = None) -> Dict:
+        """Execute a batch of jobs (of either kind), deduplicated,
+        through the memory → disk → execute stack."""
         workers = self.workers if workers is None else max(int(workers), 0)
         unique = list(dict.fromkeys(jobs))
-        results: Dict[SimJob, SimReport] = {}
-        pending: List[SimJob] = []
+        results: Dict = {}
+        pending: List = []
         for job in unique:
             report = self.reports.get(job)
             if report is not None:
@@ -230,36 +331,36 @@ class SweepEngine:
                 self._run_serial(pending, results)
         return results
 
-    def _store(self, job: SimJob, report: SimReport,
-               results: Dict[SimJob, SimReport]) -> None:
+    def _store(self, job, report, results: Dict) -> None:
         results[job] = self.reports.put(job, report)
         if self.disk is not None:
             self.disk.put(self.job_fingerprint(job), report)
 
-    def _run_serial(self, pending: Sequence[SimJob],
-                    results: Dict[SimJob, SimReport]) -> None:
+    def _run_serial(self, pending: Sequence, results: Dict) -> None:
         """Execute jobs one by one, persisting each result as it lands
         (a failure part-way keeps everything computed so far cached)."""
         for job in pending:
             report = _execute_job(job)
-            self.executed_jobs += 1
+            self._note_executed([job])
             self._store(job, report, results)
 
-    def _run_parallel(self, pending: Sequence[SimJob], workers: int,
-                      results: Dict[SimJob, SimReport]) -> None:
-        """Fan dataset-grouped chunks out over a process pool.
+    def _run_parallel(self, pending: Sequence, workers: int,
+                      results: Dict) -> None:
+        """Fan job chunks out over a process pool.
 
-        Chunking per (dataset, seed) lets each worker amortize dataset and
-        workload construction across its chunk; fork (where available)
-        additionally hands workers the parent's warm caches.  Completed
-        chunks are persisted as they arrive: a job error costs its own
-        chunk and is re-raised once every other chunk is stored, and a
-        dead pool (no subprocess support, OOM-killed workers) degrades to
-        the serial path for whatever is still missing.
+        Chunk granularity comes from :func:`_chunk_key` — per
+        (dataset, seed) for simulation jobs so a worker amortizes
+        dataset/workload construction, per job for training jobs; fork
+        (where available) additionally hands workers the parent's warm
+        caches.  Completed chunks are persisted as they arrive: a job
+        error costs its own chunk and is re-raised once every other
+        chunk is stored, and a dead pool (no subprocess support,
+        OOM-killed workers) degrades to the serial path for whatever is
+        still missing.
         """
-        chunks: Dict[tuple, List[SimJob]] = {}
+        chunks: Dict[object, List] = {}
         for job in pending:
-            chunks.setdefault((job.dataset, job.seed), []).append(job)
+            chunks.setdefault(_chunk_key(job), []).append(job)
         chunk_list = list(chunks.values())
         ctx = None
         if "fork" in multiprocessing.get_all_start_methods():
@@ -287,7 +388,7 @@ class SweepEngine:
                     job_error = job_error or exc
                     continue
                 self.pool_used = True
-                self.executed_jobs += len(chunk)
+                self._note_executed(chunk)
                 for job, report in zip(chunk, chunk_reports):
                     self._store(job, report, results)
         if pool_broken:
@@ -345,6 +446,7 @@ class SweepEngine:
         self.tables.clear()
         _WORKLOAD_MEMO.clear()
         self.executed_jobs = 0
+        self.executed_train_jobs = 0
         self.pool_used = False
 
     def clear_disk(self) -> None:
@@ -355,6 +457,7 @@ class SweepEngine:
         out = {"reports": self.reports.stats(), "tables": self.tables.stats(),
                "workloads": _WORKLOAD_MEMO.stats(),
                "executed": {"jobs": self.executed_jobs,
+                            "train_jobs": self.executed_train_jobs,
                             "pool_used": self.pool_used}}
         if self.disk is not None:
             out["disk"] = self.disk.stats()

@@ -3,7 +3,8 @@
 from .layers import GATConv, GINConv, GraphConv, Linear, MLP, QuantHooks, SageConv
 from .models import GAT, GCN, GIN, GraphSage, MODEL_SPECS, build_model
 from .module import Module
-from .training import TrainConfig, TrainResult, evaluate, train, train_multiple_seeds
+from .training import (TrainConfig, TrainResult, evaluate, evaluate_masks,
+                       train, train_multiple_seeds)
 
 __all__ = [
     "Module",
@@ -24,5 +25,6 @@ __all__ = [
     "TrainResult",
     "train",
     "evaluate",
+    "evaluate_masks",
     "train_multiple_seeds",
 ]

@@ -14,6 +14,8 @@ from typing import Optional
 import numpy as np
 
 from ..graphs import Graph
+from ..perf.cache import (cached_normalized_adjacency,
+                          cached_sampled_normalized_adjacency)
 from ..tensor import Tensor, functional as F
 from .layers import GATConv, GINConv, GraphConv, QuantHooks, SageConv
 from .module import Module
@@ -52,7 +54,10 @@ class _TwoLayerGNN(Module):
         return self
 
     def _adjacency(self, graph: Graph):
-        return graph.normalized_adjacency(self.aggregation)
+        # Content-keyed: one aggregation operator per (graph content,
+        # model family), shared across model instances, training seeds
+        # and quantization flows.
+        return cached_normalized_adjacency(graph, self.aggregation)
 
     def forward(self, features: Tensor, graph: Graph) -> Tensor:
         adjacency = self._adjacency(graph)
@@ -115,17 +120,15 @@ class GraphSage(_TwoLayerGNN):
         self.sample_neighbors = sample_neighbors
         self.layer1 = SageConv(in_dim, hidden_dim, 0, hooks=hooks, rng=rng)
         self.layer2 = SageConv(hidden_dim, num_classes, 1, hooks=hooks, rng=rng)
-        self._sampled_cache = {}
 
     def _adjacency(self, graph: Graph):
         if self.sample_neighbors is None:
-            return graph.normalized_adjacency("mean")
-        key = id(graph)
-        if key not in self._sampled_cache:
-            sampled = graph.sample_neighbors(self.sample_neighbors,
-                                             rng=np.random.default_rng(0))
-            self._sampled_cache[key] = sampled.normalized_adjacency("mean")
-        return self._sampled_cache[key]
+            return cached_normalized_adjacency(graph, "mean")
+        # The sampled operator is deterministic in the graph content
+        # (fixed sampling stream), so the content-keyed cache replaces
+        # the old per-model-instance id()-keyed one and is shared across
+        # seeds and flows.
+        return cached_sampled_normalized_adjacency(graph, self.sample_neighbors)
 
 
 class GAT(_TwoLayerGNN):

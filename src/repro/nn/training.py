@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,7 +18,8 @@ from ..tensor import Tensor, functional as F, no_grad
 from ..tensor.optim import Adam, clip_grad_norm
 from .module import Module
 
-__all__ = ["TrainConfig", "TrainResult", "train", "evaluate", "train_multiple_seeds"]
+__all__ = ["TrainConfig", "TrainResult", "train", "evaluate",
+           "evaluate_masks", "train_multiple_seeds"]
 
 
 @dataclass
@@ -47,10 +48,24 @@ class TrainResult:
 
 def evaluate(model: Module, graph: Graph, mask: np.ndarray) -> float:
     """Accuracy of ``model`` on the nodes selected by ``mask``."""
+    return evaluate_masks(model, graph, (mask,))[0]
+
+
+def evaluate_masks(model: Module, graph: Graph,
+                   masks: Sequence[np.ndarray]) -> List[float]:
+    """Accuracy on several node masks from a single no-grad forward.
+
+    The forward pass dominates evaluation cost; scoring the validation
+    and test splits against one shared ``logits`` halves the number of
+    inference forwards in the training loop.  Inference is
+    side-effect-free (dropout is the identity, quantization observers
+    only update in training mode), so the result is bit-identical to
+    separate :func:`evaluate` calls.
+    """
     model.eval()
     with no_grad():
         logits = model(Tensor(graph.features), graph)
-    return F.accuracy(logits, graph.labels, mask)
+    return [F.accuracy(logits, graph.labels, mask) for mask in masks]
 
 
 def train(
@@ -111,7 +126,11 @@ def train(
         for qopt in quant_optimizers:
             qopt.step()
 
-        val_acc = evaluate(model, graph, graph.val_mask)
+        # One shared inference forward scores every mask; checkpointing a
+        # best epoch no longer pays a second full forward for the test
+        # split.
+        val_acc, test_acc = evaluate_masks(
+            model, graph, (graph.val_mask, graph.test_mask))
         history.append({"epoch": epoch, "loss": float(loss.data), "val_acc": val_acc})
         if config.verbose and epoch % 20 == 0:
             print(f"epoch {epoch:4d} loss {float(loss.data):.4f} val {val_acc:.4f}")
@@ -121,7 +140,7 @@ def train(
             best_val = val_acc
             best_state = model.state_dict()
             best_extra = [p.data.copy() for p in (extra_params or [])]
-            best_test = evaluate(model, graph, graph.test_mask)
+            best_test = test_acc
             since_best = 0
         else:
             since_best += 1
@@ -142,20 +161,71 @@ def train(
 
 
 def train_multiple_seeds(
-    model_factory: Callable[[int], Module],
-    graph: Graph,
+    model_factory: Union[str, Callable[[int], Module]],
+    graph: Union[str, Graph],
     seeds: List[int],
     config: Optional[TrainConfig] = None,
     extra_loss_factory: Optional[Callable[[Module], Callable[[], Optional[Tensor]]]] = None,
+    flow: str = "fp32",
+    flow_kwargs: Optional[Dict[str, object]] = None,
 ) -> Dict[str, float]:
-    """Run several seeds and report mean/std test accuracy (paper style)."""
-    accuracies, seconds = [], []
-    for seed in seeds:
-        model = model_factory(seed)
-        extra = extra_loss_factory(model) if extra_loss_factory else None
-        result = train(model, graph, config=config, extra_loss=extra)
-        accuracies.append(result.test_accuracy)
-        seconds.append(result.train_seconds)
+    """Run several seeds and report mean/std test accuracy (paper style).
+
+    Two call styles:
+
+    - **declarative** (preferred): ``model_factory`` is a model *name*
+      and ``graph`` a dataset name (or a graph loaded by
+      :func:`~repro.graphs.load_dataset`, whose ``name`` encodes
+      ``dataset-scale``).  The per-seed runs are declared as one
+      deduplicated :class:`~repro.eval.engine.TrainJob` batch through
+      the shared job engine — cached seeds replay from disk, cold seeds
+      can fan out over ``REPRO_SWEEP_WORKERS`` processes, and ``flow``
+      selects the quantization flow (:data:`repro.quant.flows.TRAIN_FLOWS`).
+    - **legacy**: ``model_factory`` is a callable ``seed -> Module`` and
+      each seed trains serially in-process (required when the factory
+      closes over custom models the engine cannot reconstruct).
+    """
+    if isinstance(model_factory, str):
+        if extra_loss_factory is not None:
+            raise ValueError(
+                "extra_loss_factory requires the legacy callable form; "
+                "declarative flows attach their own losses")
+        from ..eval.engine import TrainJob, get_engine
+
+        name = graph if isinstance(graph, str) else graph.name
+        dataset, _, scale = name.partition("-")
+        scale = scale or "train"
+        if not isinstance(graph, str):
+            # The engine regenerates the dataset in its workers; make
+            # sure that regeneration matches what the caller handed us
+            # (a graph loaded with a non-default generation seed cannot
+            # be described declaratively).
+            from ..perf.cache import cached_load_dataset, graph_fingerprint
+
+            regenerated = cached_load_dataset(dataset, scale=scale, seed=0)
+            if (graph_fingerprint(regenerated.adjacency)
+                    != graph_fingerprint(graph.adjacency)):
+                raise ValueError(
+                    f"graph {name!r} does not match load_dataset"
+                    f"({dataset!r}, scale={scale!r}, seed=0); use the "
+                    f"legacy callable form for custom graphs")
+        # graph_seed pinned to 0: every model seed trains on the same
+        # graph, matching the legacy per-factory loop.
+        jobs = [TrainJob.from_call(dataset, model_factory, flow,
+                                   flow_kwargs, config=config, seed=seed,
+                                   scale=scale, graph_seed=0)
+                for seed in seeds]
+        results = get_engine().run(jobs)
+        accuracies = [results[job].test_accuracy for job in jobs]
+        seconds = [results[job].train_seconds for job in jobs]
+    else:
+        accuracies, seconds = [], []
+        for seed in seeds:
+            model = model_factory(seed)
+            extra = extra_loss_factory(model) if extra_loss_factory else None
+            result = train(model, graph, config=config, extra_loss=extra)
+            accuracies.append(result.test_accuracy)
+            seconds.append(result.train_seconds)
     return {
         "mean_accuracy": float(np.mean(accuracies)),
         "std_accuracy": float(np.std(accuracies)),

@@ -14,11 +14,16 @@ trajectory.  Kernels covered:
 - ``partition_graph`` — cold vs content-cache-hit timings of
   :func:`repro.perf.cached_partition`.
 
-On top of the kernels, the runner times an end-to-end ``full_sweep``
-through :class:`repro.eval.engine.SweepEngine`: one (workload ×
-accelerator) grid cold and serial, again warm from the on-disk cache,
-and again cold through the process pool — the entry CI asserts the
-warm-cache replay against (it must execute zero jobs).
+On top of the kernels, the runner times two end-to-end sweeps through
+:class:`repro.eval.engine.SweepEngine`: a ``full_sweep`` over one
+(workload × accelerator) simulation grid and an ``accuracy_sweep`` over
+a (case × flow × seed) training grid — each cold and serial, again warm
+from the on-disk cache, and again cold through the process pool.  CI
+asserts the warm-cache replays against both (they must execute zero
+jobs / train zero models).  A ``train_epoch`` entry times the training
+hot loop (in-place optimizers, shared eval forward) against the seed
+loop preserved in :mod:`repro.perf.reference`, asserting bit-identical
+accuracies.
 
 ``--quick`` restricts the sweep to the small size (used by CI smoke
 runs); the default sweep ends at the ~50k-node / ~500k-edge graph the
@@ -263,6 +268,148 @@ def _bench_full_sweep(quick: bool, workers: Optional[int] = None) -> dict:
     }
 
 
+# (cases, flows, seeds, epochs) for the end-to-end accuracy sweep
+# benchmark.  Epoch budgets are deliberately small: the entry measures
+# the cache/parallel orchestration, not a paper table.
+ACCURACY_GRIDS: Dict[str, tuple] = {
+    "quick": ((("cora", "gcn"),), ("fp32", "dq"), (0, 1), 6),
+    "full": ((("cora", "gcn"), ("citeseer", "gcn")),
+             ("fp32", "dq", "degree-aware"), (0, 1), 20),
+}
+
+_ACCURACY_FLOW_KWARGS = {"dq": {"bits": 4}}
+
+
+def _train_result_key(result) -> tuple:
+    """The deterministic fields of a flow result (timings excluded)."""
+    return (result.test_accuracy, result.average_bits,
+            result.compression_ratio)
+
+
+def _bench_accuracy_sweep(quick: bool, workers: Optional[int] = None) -> dict:
+    """Cold-serial vs warm-disk vs cold-parallel training-grid timings.
+
+    Mirrors :func:`_bench_full_sweep` for :class:`TrainJob` batches: the
+    warm phase replays the serial phase's on-disk store (all stores live
+    in a temp dir, never the user's real cache) and must train zero
+    models; the parallel phase gets its own empty store so it is a
+    genuinely cold run.  Training runs are seconds-long, so one attempt
+    per phase is representative (unlike the microsecond-scale kernels).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..eval.engine import SweepEngine, TrainJob
+    from ..nn import TrainConfig
+
+    cases, flows, seeds, epochs = ACCURACY_GRIDS["quick" if quick else "full"]
+    config = TrainConfig(epochs=epochs, patience=10_000)
+    jobs = [TrainJob.from_call(dataset, model, flow,
+                               _ACCURACY_FLOW_KWARGS.get(flow),
+                               config=config, seed=seed)
+            for dataset, model in cases for flow in flows for seed in seeds]
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-accuracy-bench-") as tmp:
+        clear_all_caches()
+        serial = SweepEngine(workers=0, cache_dir=Path(tmp) / "serial")
+        serial.clear_memory()  # the workload memo is module-level
+        with Timer() as cold:
+            cold_results = serial.run(jobs)
+        executed_cold = serial.executed_train_jobs
+
+        serial.clear_memory()
+        clear_all_caches()
+        with Timer() as warm:
+            warm_results = serial.run(jobs)
+        executed_warm = serial.executed_train_jobs
+        assert all(_train_result_key(warm_results[j])
+                   == _train_result_key(cold_results[j]) for j in jobs), \
+            "warm-cache sweep must replay identical training results"
+
+        clear_all_caches()
+        parallel = SweepEngine(workers=workers, cache_dir=Path(tmp) / "par")
+        parallel.clear_memory()
+        with Timer() as par:
+            par_results = parallel.run(jobs)
+        pool_used = parallel.pool_used
+        assert all(_train_result_key(par_results[j])
+                   == _train_result_key(cold_results[j]) for j in jobs), \
+            "parallel sweep must be bit-identical to the serial results"
+    clear_all_caches()
+
+    return {
+        "jobs": len(jobs),
+        "cases": len(cases),
+        "flows": list(flows),
+        "seeds": len(seeds),
+        "epochs": epochs,
+        "workers": workers,
+        # Reported by the engine, not the request: False means the
+        # 'parallel' phase actually ran the serial path (single CPU or
+        # pool-creation fallback).
+        "pool_used": pool_used,
+        "cold_serial_s": cold.elapsed,
+        "warm_s": warm.elapsed,
+        "cold_parallel_s": par.elapsed,
+        "executed_cold_train_jobs": executed_cold,
+        "executed_warm_train_jobs": executed_warm,
+        "warm_speedup": _speedup(cold.elapsed, warm.elapsed),
+        "parallel_speedup": _speedup(cold.elapsed, par.elapsed),
+    }
+
+
+def _bench_train_epoch(quick: bool) -> dict:
+    """Per-epoch timing of the training hot loop vs the seed loop.
+
+    Both loops train the same (cora, GCN, FP32) model from the same
+    seed; the accuracies and loss histories must be bit-identical (the
+    in-place optimizer steps and the shared eval forward are exact
+    reformulations).  Runs are interleaved best-of-2 so allocator and
+    page-cache warmth bias both sides equally.
+    """
+    from ..nn import TrainConfig, build_model, train
+    from .cache import cached_load_dataset
+    from .reference import train_reference
+
+    graph = cached_load_dataset("cora", scale="train")
+    epochs = 10 if quick else 30
+    config = TrainConfig(epochs=epochs, patience=10_000)
+
+    new_times, ref_times = [], []
+    new_result = ref_result = None
+    for attempt in range(2):
+        for kind in (("new", "ref") if attempt % 2 == 0 else ("ref", "new")):
+            model = build_model("gcn", graph.feature_dim, graph.num_classes,
+                                seed=0)
+            loop = train if kind == "new" else train_reference
+            with Timer() as t:
+                result = loop(model, graph, config=config)
+            if kind == "new":
+                new_times.append(t.elapsed)
+                new_result = result
+            else:
+                ref_times.append(t.elapsed)
+                ref_result = result
+
+    assert new_result.test_accuracy == ref_result.test_accuracy, \
+        "hot-loop training must stay bit-identical to the seed loop"
+    assert ([h["loss"] for h in new_result.history]
+            == [h["loss"] for h in ref_result.history])
+    best_new, best_ref = min(new_times), min(ref_times)
+    return {
+        "dataset": "cora",
+        "model": "gcn",
+        "epochs": epochs,
+        "new_per_epoch_ms": best_new / epochs * 1e3,
+        "reference_per_epoch_ms": best_ref / epochs * 1e3,
+        "test_accuracy": new_result.test_accuracy,
+        "bit_identical": True,
+        "speedup": _speedup(best_ref, best_new),
+    }
+
+
 def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                    check: bool = True, seed: int = 0,
                    quick_sweep: Optional[bool] = None,
@@ -276,7 +423,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v2",
+        "schema": "repro.perf.bench/v3",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -306,6 +453,9 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
         kernels["partition_graph"][size] = _bench_partition(graph, num_parts)
     report["kernels"] = kernels
     report["full_sweep"] = _bench_full_sweep(quick_sweep, workers=sweep_workers)
+    report["train_epoch"] = _bench_train_epoch(quick_sweep)
+    report["accuracy_sweep"] = _bench_accuracy_sweep(quick_sweep,
+                                                     workers=sweep_workers)
     return report
 
 
@@ -332,6 +482,27 @@ def _print_summary(report: dict) -> None:
         print(f"  cold parallel {sweep['cold_parallel_s'] * 1e3:>9.1f}ms "
               f"({sweep['workers']} workers, {sweep['parallel_speedup']:.2f}x"
               f"{pool_note})")
+    epoch = report.get("train_epoch")
+    if epoch:
+        print(f"\ntrain_epoch: {epoch['dataset']}-{epoch['model']}, "
+              f"{epoch['epochs']} epochs")
+        print(f"  hot loop {epoch['new_per_epoch_ms']:>7.1f}ms/epoch vs seed "
+              f"{epoch['reference_per_epoch_ms']:>7.1f}ms/epoch "
+              f"({epoch['speedup']:.2f}x, bit-identical)")
+    acc = report.get("accuracy_sweep")
+    if acc:
+        print(f"\naccuracy_sweep: {acc['jobs']} TrainJobs "
+              f"({acc['cases']} cases x {len(acc['flows'])} flows x "
+              f"{acc['seeds']} seeds, {acc['epochs']} epochs)")
+        print(f"  cold serial   {acc['cold_serial_s'] * 1e3:>9.1f}ms "
+              f"({acc['executed_cold_train_jobs']} models trained)")
+        print(f"  warm (disk)   {acc['warm_s'] * 1e3:>9.1f}ms "
+              f"({acc['executed_warm_train_jobs']} models trained, "
+              f"{acc['warm_speedup']:.1f}x)")
+        pool_note = "" if acc["pool_used"] else ", pool not used: serial path"
+        print(f"  cold parallel {acc['cold_parallel_s'] * 1e3:>9.1f}ms "
+              f"({acc['workers']} workers, {acc['parallel_speedup']:.2f}x"
+              f"{pool_note})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -348,9 +519,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-check", action="store_true",
                         help="skip the equivalence assertions")
     parser.add_argument("--sweep-workers", type=int, default=None,
-                        help="worker processes for the parallel full_sweep "
-                             "phase (default: min(4, cpus); 1 runs the "
-                             "engine's serial path instead of a pool)")
+                        help="worker processes for the parallel full_sweep / "
+                             "accuracy_sweep phases (default: min(4, cpus); "
+                             "1 runs the engine's serial path instead of a "
+                             "pool)")
     parser.add_argument("--output", default="BENCH_repro.json",
                         help="output JSON path (default: %(default)s)")
     args = parser.parse_args(argv)

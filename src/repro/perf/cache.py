@@ -45,6 +45,7 @@ __all__ = [
     "graph_fingerprint",
     "cached_partition",
     "cached_normalized_adjacency",
+    "cached_sampled_normalized_adjacency",
     "cached_load_dataset",
     "cache_stats",
     "clear_all_caches",
@@ -107,8 +108,10 @@ class ContentCache:
 PARTITION_CACHE = ContentCache("partition")
 ADJACENCY_CACHE = ContentCache("normalized_adjacency")
 DATASET_CACHE = ContentCache("dataset")
+SAMPLED_ADJACENCY_CACHE = ContentCache("sampled_adjacency")
 
-_ALL_CACHES = (PARTITION_CACHE, ADJACENCY_CACHE, DATASET_CACHE)
+_ALL_CACHES = (PARTITION_CACHE, ADJACENCY_CACHE, DATASET_CACHE,
+               SAMPLED_ADJACENCY_CACHE)
 
 # id(matrix) -> (weakref, digest): fingerprints are content hashes, but
 # memoized per live object so repeated lookups are O(1).
@@ -159,6 +162,25 @@ def cached_normalized_adjacency(graph: Graph, kind: str = "gcn") -> sp.csr_matri
     key = (graph_fingerprint(graph.adjacency), kind)
     return ADJACENCY_CACHE.get_or_compute(
         key, lambda: graph.normalized_adjacency(kind))
+
+
+def cached_sampled_normalized_adjacency(graph: Graph, max_neighbors: int,
+                                        kind: str = "mean") -> sp.csr_matrix:
+    """Memoized GraphSAGE-style sampled aggregation operator.
+
+    :meth:`~repro.graphs.Graph.sample_neighbors` draws from a fixed
+    ``default_rng(0)`` stream, so the sampled operator is a pure function
+    of the adjacency content — one shared entry serves every model
+    instance, seed and quantization flow training on the same graph.
+    """
+    key = (graph_fingerprint(graph.adjacency), max_neighbors, kind)
+
+    def compute() -> sp.csr_matrix:
+        sampled = graph.sample_neighbors(max_neighbors,
+                                         rng=np.random.default_rng(0))
+        return sampled.normalized_adjacency(kind)
+
+    return SAMPLED_ADJACENCY_CACHE.get_or_compute(key, compute)
 
 
 def cached_load_dataset(name: str, scale: str = "train", seed: int = 0) -> Graph:

@@ -34,6 +34,10 @@ __all__ = [
     "CondenseUnitReference",
     "sample_neighbors_reference",
     "csr_decode_reference",
+    "AdamReference",
+    "SGDReference",
+    "clip_grad_norm_reference",
+    "train_reference",
 ]
 
 
@@ -147,3 +151,167 @@ def csr_decode_reference(encoded) -> np.ndarray:
         start, stop = encoded.indptr[row], encoded.indptr[row + 1]
         out[row, encoded.indices[start:stop]] = encoded.data[start:stop]
     return out
+
+
+# ----------------------------------------------------------------------
+# Seed training hot loop (pre in-place optimizers / shared eval forward)
+# ----------------------------------------------------------------------
+
+class AdamReference:
+    """The original (allocating) Adam step, kept verbatim.
+
+    Every step allocates ``m_hat``/``v_hat`` and the weight-decayed
+    gradient; the in-place :class:`repro.tensor.optim.Adam` must stay
+    bit-identical to this.
+    """
+
+    def __init__(self, params, lr: float = 0.01, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        self.params = [p for p in params if p.requires_grad]
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SGDReference:
+    """The original (allocating) SGD step, kept verbatim."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        self.params = [p for p in params if p.requires_grad]
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+
+def clip_grad_norm_reference(params, max_norm: float) -> float:
+    """The original clip: per-parameter ``grad ** 2`` temporaries and
+    out-of-place ``p.grad * scale`` copies."""
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+def train_reference(model, graph, config=None, extra_loss=None,
+                    extra_params=None, select_when=None):
+    """The seed training loop: allocating optimizer steps and separate
+    ``evaluate`` forwards for the validation and (on best epochs) test
+    masks.  Used by the benchmark runner as the per-epoch baseline; the
+    production :func:`repro.nn.training.train` must produce bit-identical
+    accuracies from the same seed.
+    """
+    import time
+
+    from ..nn.training import TrainConfig, TrainResult, evaluate
+    from ..tensor import functional as F
+    from ..tensor.tensor import Tensor
+
+    config = config or TrainConfig()
+    optimizer = AdamReference(model.parameters(), lr=config.lr,
+                              weight_decay=config.weight_decay)
+    extra_params = [p for p in (extra_params or []) if p.requires_grad]
+    quant_optimizers = ([AdamReference(extra_params, lr=config.quant_lr,
+                                       weight_decay=0.0)]
+                        if extra_params else [])
+    features = Tensor(graph.features)
+    best_val, best_state, best_test = -1.0, None, 0.0
+    best_extra = []
+    since_best = 0
+    history = []
+    start = time.perf_counter()
+
+    epoch = 0
+    for epoch in range(1, config.epochs + 1):
+        model.train()
+        optimizer.zero_grad()
+        for qopt in quant_optimizers:
+            qopt.zero_grad()
+        logits = model(features, graph)
+        loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
+        if extra_loss is not None:
+            penalty = extra_loss()
+            if penalty is not None:
+                loss = loss + penalty
+        loss.backward()
+        if config.grad_clip:
+            clip_grad_norm_reference(model.parameters(), config.grad_clip)
+        optimizer.step()
+        for qopt in quant_optimizers:
+            qopt.step()
+
+        val_acc = evaluate(model, graph, graph.val_mask)
+        history.append({"epoch": epoch, "loss": float(loss.data),
+                        "val_acc": val_acc})
+
+        eligible = select_when is None or select_when()
+        if eligible and val_acc > best_val:
+            best_val = val_acc
+            best_state = model.state_dict()
+            best_extra = [p.data.copy() for p in (extra_params or [])]
+            best_test = evaluate(model, graph, graph.test_mask)
+            since_best = 0
+        else:
+            since_best += 1
+            if since_best >= config.patience and (
+                    select_when is None or best_state is not None):
+                break
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+        for p, data in zip(extra_params or [], best_extra):
+            p.data = data
+    return TrainResult(
+        best_val_accuracy=best_val,
+        test_accuracy=best_test,
+        train_seconds=time.perf_counter() - start,
+        epochs_run=epoch,
+        history=history,
+    )

@@ -17,10 +17,12 @@ from .fake_quant import (
 )
 from .flows import (
     QUANT_METHODS,
+    TRAIN_FLOWS,
     QuantRunResult,
     layer_dims_for,
     run_degree_aware,
     run_degree_quant,
+    run_feature_magnitudes,
     run_fp32,
     run_uniform,
 )
@@ -52,5 +54,7 @@ __all__ = [
     "run_degree_quant",
     "run_degree_aware",
     "run_uniform",
+    "run_feature_magnitudes",
     "QUANT_METHODS",
+    "TRAIN_FLOWS",
 ]

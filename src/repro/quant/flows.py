@@ -22,7 +22,8 @@ from .degree_quant import DegreeQuantConfig, DegreeQuantizer
 from .uniform import UniformQuantConfig, UniformQuantizer
 
 __all__ = ["QuantRunResult", "layer_dims_for", "run_fp32", "run_degree_quant",
-           "run_degree_aware", "run_uniform", "QUANT_METHODS"]
+           "run_degree_aware", "run_uniform", "run_feature_magnitudes",
+           "QUANT_METHODS", "TRAIN_FLOWS", "freeze_value", "thaw_value"]
 
 
 @dataclass
@@ -128,9 +129,86 @@ def run_degree_aware(model_name: str, graph: Graph,
     return run
 
 
+def run_feature_magnitudes(model_name: str, graph: Graph,
+                           config: Optional[TrainConfig] = None,
+                           seed: int = 0) -> np.ndarray:
+    """Fig. 3 measurement flow: train briefly, return the mean
+    aggregated-feature magnitude per in-degree group.
+
+    Registered in :data:`TRAIN_FLOWS` so the degree-magnitude study runs
+    through the same cached/parallel job engine as the accuracy tables.
+    """
+    from ..graphs.statistics import average_feature_by_degree
+
+    model = build_model(model_name, graph.feature_dim, graph.num_classes,
+                        seed=seed)
+    train(model, graph, config=config)
+    model.eval()
+    with no_grad():
+        hidden = model.hidden_features(Tensor(graph.features), graph)
+    return average_feature_by_degree(graph, hidden.data)
+
+
 QUANT_METHODS = {
     "fp32": run_fp32,
     "dq": run_degree_quant,
     "uniform": run_uniform,
     "degree-aware": run_degree_aware,
 }
+
+# Flows executable as declarative TrainJobs by the job engine
+# (:mod:`repro.eval.engine`).  Every entry has the uniform signature
+# ``flow(model_name, graph, config=..., seed=..., **flow_kwargs)`` and
+# returns a picklable result.
+TRAIN_FLOWS = dict(QUANT_METHODS)
+TRAIN_FLOWS["feature-magnitudes"] = run_feature_magnitudes
+
+
+# ----------------------------------------------------------------------
+# Declarative flow-kwarg freezing (hashable TrainJob fields <-> configs)
+# ----------------------------------------------------------------------
+
+# Dataclass configs a frozen TrainJob may carry.  Registered by name so
+# the frozen form stays a pure tuple of primitives (hashable, stable
+# under repr for content keys, picklable for pool workers).
+_FROZEN_DATACLASSES = {
+    "TrainConfig": TrainConfig,
+    "DegreeAwareConfig": DegreeAwareConfig,
+    "DegreeQuantConfig": DegreeQuantConfig,
+    "UniformQuantConfig": UniformQuantConfig,
+}
+
+_DC_TAG = "__dataclass__"
+_DICT_TAG = "__mapping__"
+
+
+def freeze_value(value):
+    """Convert a flow-kwarg value into a hashable, content-stable form."""
+    if type(value).__name__ in _FROZEN_DATACLASSES and hasattr(value, "__dict__"):
+        fields = tuple(sorted((k, freeze_value(v))
+                              for k, v in vars(value).items()))
+        return (_DC_TAG, type(value).__name__, fields)
+    if isinstance(value, dict):
+        # Tagged so a dict thaws back to a dict and can never collide
+        # with a frozen list of pairs.
+        return (_DICT_TAG, tuple(sorted(
+            (k, freeze_value(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(v) for v in value)
+    if isinstance(value, (str, bytes, int, float, bool, type(None))):
+        return value
+    raise TypeError(
+        f"flow kwarg of type {type(value).__name__!r} cannot be frozen into "
+        f"a TrainJob; pass primitives or one of {sorted(_FROZEN_DATACLASSES)}")
+
+
+def thaw_value(value):
+    """Inverse of :func:`freeze_value` (reconstructs registered configs)."""
+    if isinstance(value, tuple) and len(value) == 3 and value[0] == _DC_TAG:
+        cls = _FROZEN_DATACLASSES[value[1]]
+        return cls(**{k: thaw_value(v) for k, v in value[2]})
+    if isinstance(value, tuple) and len(value) == 2 and value[0] == _DICT_TAG:
+        return {k: thaw_value(v) for k, v in value[1]}
+    if isinstance(value, tuple):
+        return tuple(thaw_value(v) for v in value)
+    return value

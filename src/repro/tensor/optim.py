@@ -1,12 +1,20 @@
 """Gradient-descent optimizers for :class:`~repro.tensor.Tensor` parameters.
 
 Adam is the optimizer used throughout the paper's training recipes; SGD
-is provided for ablations and tests.
+is provided for ablations and tests (and drives the Degree-Aware
+bitwidth parameters).
+
+All steps are allocation-free after the first call: each optimizer owns
+preallocated scratch buffers and updates parameters with in-place numpy
+ufuncs, in exactly the floating-point operation order of the original
+(allocating) implementations — the training trajectories are
+bit-identical (asserted against :mod:`repro.perf.reference` by the test
+suite and the benchmark runner).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -46,19 +54,28 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch: Optional[List[np.ndarray]] = None
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.params]
+        for p, v, buf in zip(self.params, self._velocity, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data -= self.lr * grad
+            if grad is buf:
+                buf *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -80,32 +97,86 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+        # Three scratch buffers per parameter: the weight-decayed
+        # gradient, and the m-hat / v-hat intermediates.  Lazily sized on
+        # the first step (quantizer parameters can be created after the
+        # optimizer when scales are lazily calibrated).
+        self._scratch: Optional[List[tuple]] = None
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        if self._scratch is None:
+            self._scratch = [
+                (np.empty_like(p.data), np.empty_like(p.data), np.empty_like(p.data))
+                for p in self.params
+            ]
+        for p, m, v, (gbuf, mbuf, vbuf) in zip(
+                self.params, self._m, self._v, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                # grad + weight_decay * p.data, without the two temporaries.
+                np.multiply(p.data, self.weight_decay, out=gbuf)
+                gbuf += grad
+                grad = gbuf
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=mbuf)
+            m += mbuf
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # ((1 - beta2) * grad) * grad, matching the original order.
+            np.multiply(grad, 1.0 - self.beta2, out=vbuf)
+            vbuf *= grad
+            v += vbuf
+            np.divide(m, bias1, out=mbuf)       # m_hat
+            np.divide(v, bias2, out=vbuf)       # v_hat
+            np.sqrt(vbuf, out=vbuf)
+            vbuf += self.eps
+            mbuf *= self.lr
+            mbuf /= vbuf
+            p.data -= mbuf
+
+
+# One growable flat buffer per dtype, reused across clip calls so the
+# squared-gradient pass allocates nothing in steady state.
+_CLIP_SCRATCH: Dict[np.dtype, np.ndarray] = {}
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
-    """Clip the global L2 norm of gradients in place; return the pre-clip norm."""
+    """Clip the global L2 norm of gradients in place; return the pre-clip norm.
+
+    One pass computes the norm by squaring each gradient into a shared
+    scratch buffer (no per-parameter ``grad ** 2`` temporaries); scaling
+    happens in place (``p.grad *= scale``) instead of allocating
+    ``p.grad * scale`` copies.  The accumulation order matches the
+    original implementation exactly, so the clipped gradients are
+    bit-identical.
+    """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total_sq = 0.0
+    for p in params:
+        flat = np.ravel(p.grad)
+        buf = _CLIP_SCRATCH.get(flat.dtype)
+        if buf is None or buf.size < flat.size:
+            buf = _CLIP_SCRATCH[flat.dtype] = np.empty(flat.size, dtype=flat.dtype)
+        sq = buf[: flat.size]
+        np.multiply(flat, flat, out=sq)
+        total_sq += float(sq.sum())
+    total = float(np.sqrt(total_sq))
     if total > max_norm and total > 0:
         scale = max_norm / total
+        # Two parameters can share one borrowed grad buffer (a same-shape
+        # ``+`` of two parameters hands both the identical upstream
+        # array, stored by reference in Tensor._accumulate); scale each
+        # distinct array exactly once so the shared buffer is not scaled
+        # twice.
+        seen = set()
         for p in params:
-            p.grad = p.grad * scale
+            buf = p.grad
+            if id(buf) in seen:
+                continue
+            seen.add(id(buf))
+            buf *= scale
     return total

@@ -78,7 +78,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor that records operations for autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_grad_owned")
 
     def __init__(
         self,
@@ -90,6 +91,7 @@ class Tensor:
         self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
+        self._grad_owned = False
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -159,11 +161,29 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` with minimal allocation.
+
+        The first contribution is stored by reference when the incoming
+        array is freshly produced (no base, not aliasing ``data``) — but
+        such a borrowed array may also be held as another tensor's grad
+        (e.g. a same-shape ``+`` passes one upstream array to both
+        parents), so it is never mutated.  Only once an accumulation has
+        allocated a privately-owned buffer do further contributions add
+        in place instead of reallocating per consumer.
+        """
         grad = np.asarray(grad, dtype=self.data.dtype)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+            if grad.base is not None or grad is self.data:
+                self.grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self.grad = grad
+                self._grad_owned = False
+        elif self._grad_owned:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Run reverse-mode autodiff from this tensor.

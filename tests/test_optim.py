@@ -96,3 +96,121 @@ class TestClipGradNorm:
     def test_ignores_missing_grads(self):
         p = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
         assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_scales_in_place(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        before = p.grad
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad is before  # scaled in place, no new allocation
+
+    def test_aliased_grads_not_double_scaled(self):
+        # A same-shape add hands the identical upstream grad array to
+        # both parents; clipping must not scale that shared buffer twice.
+        w1 = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        w2 = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        ((w1 + w2) * 10.0).sum().backward()
+        assert w1.grad is w2.grad  # the aliasing scenario under test
+        clip_grad_norm([w1, w2], max_norm=1.0)
+        expected = 10.0 / np.sqrt(2 * 3 * 10.0 ** 2)
+        np.testing.assert_allclose(w1.grad, expected, rtol=1e-6)
+        np.testing.assert_allclose(w2.grad, expected, rtol=1e-6)
+
+
+def _random_params(seed, weight_decay_shapes=((64, 32), (32,), (7, 5))):
+    rng = np.random.default_rng(seed)
+    params = []
+    for shape in weight_decay_shapes:
+        p = Tensor(rng.standard_normal(shape).astype(np.float32),
+                   requires_grad=True)
+        params.append(p)
+    return params
+
+
+def _clone_params(params):
+    clones = []
+    for p in params:
+        q = Tensor(p.data.copy(), requires_grad=True)
+        clones.append(q)
+    return clones
+
+
+def _assign_grads(params, rng, scale=1.0):
+    for p in params:
+        p.grad = (scale * rng.standard_normal(p.data.shape)).astype(np.float32)
+
+
+class TestBitIdentityWithReference:
+    """The in-place steps must match the seed (allocating) optimizers
+    bit for bit — the sweep cache's determinism guarantee rests on it."""
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 5e-4])
+    def test_adam_steps_bit_identical(self, weight_decay):
+        from repro.perf.reference import AdamReference
+
+        fast_params = _random_params(0)
+        ref_params = _clone_params(fast_params)
+        fast = Adam(fast_params, lr=0.01, weight_decay=weight_decay)
+        ref = AdamReference(ref_params, lr=0.01, weight_decay=weight_decay)
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        for step in range(25):
+            _assign_grads(fast_params, rng_a)
+            _assign_grads(ref_params, rng_b)
+            fast.step()
+            ref.step()
+            for f, r in zip(fast_params, ref_params):
+                np.testing.assert_array_equal(f.data, r.data,
+                                              err_msg=f"step {step}")
+
+    @pytest.mark.parametrize("momentum,weight_decay",
+                             [(0.0, 0.0), (0.9, 0.0), (0.9, 1e-3)])
+    def test_sgd_steps_bit_identical(self, momentum, weight_decay):
+        from repro.perf.reference import SGDReference
+
+        fast_params = _random_params(2)
+        ref_params = _clone_params(fast_params)
+        fast = SGD(fast_params, lr=0.05, momentum=momentum,
+                   weight_decay=weight_decay)
+        ref = SGDReference(ref_params, lr=0.05, momentum=momentum,
+                           weight_decay=weight_decay)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        for step in range(25):
+            _assign_grads(fast_params, rng_a)
+            _assign_grads(ref_params, rng_b)
+            fast.step()
+            ref.step()
+            for f, r in zip(fast_params, ref_params):
+                np.testing.assert_array_equal(f.data, r.data,
+                                              err_msg=f"step {step}")
+
+    @pytest.mark.parametrize("scale", [0.01, 1.0, 100.0])
+    def test_clip_bit_identical(self, scale):
+        from repro.perf.reference import clip_grad_norm_reference
+
+        fast_params = _random_params(4)
+        ref_params = _clone_params(fast_params)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        _assign_grads(fast_params, rng_a, scale=scale)
+        _assign_grads(ref_params, rng_b, scale=scale)
+        fast_norm = clip_grad_norm(fast_params, 5.0)
+        ref_norm = clip_grad_norm_reference(ref_params, 5.0)
+        assert fast_norm == ref_norm
+        for f, r in zip(fast_params, ref_params):
+            np.testing.assert_array_equal(f.grad, r.grad)
+
+    def test_adam_skips_gradless_params_like_reference(self):
+        from repro.perf.reference import AdamReference
+
+        fast_params = _random_params(6)
+        ref_params = _clone_params(fast_params)
+        fast = Adam(fast_params, lr=0.01)
+        ref = AdamReference(ref_params, lr=0.01)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        _assign_grads(fast_params, rng_a)
+        _assign_grads(ref_params, rng_b)
+        fast_params[1].grad = None
+        ref_params[1].grad = None
+        fast.step()
+        ref.step()
+        for f, r in zip(fast_params, ref_params):
+            np.testing.assert_array_equal(f.data, r.data)

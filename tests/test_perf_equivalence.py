@@ -288,9 +288,14 @@ class TestTimersAndBench:
         assert sweep["executed_warm_jobs"] == 0
         assert sweep["executed_cold_jobs"] == sweep["jobs"]
         assert sweep["warm_speedup"] > 1.0
+        acc = report["accuracy_sweep"]
+        assert acc["executed_warm_train_jobs"] == 0
+        assert acc["executed_cold_train_jobs"] == acc["jobs"]
+        assert acc["warm_speedup"] > 1.0
+        assert report["train_epoch"]["bit_identical"]
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v2"
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v3"
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):
