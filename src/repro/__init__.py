@@ -9,11 +9,18 @@ Public API tour::
     from repro.baselines import build_baseline
     from repro.sim.workload import build_workload
     from repro import eval as experiments
+    from repro.registry import ACCELERATORS, DATASETS, SUITES, EXPERIMENTS
+    from repro.report import run_experiment
+
+Everything dispatchable by name — accelerators, datasets/scenarios,
+workload suites, experiments — lives in the registries; the subsystems
+self-register on import.  ``python -m repro`` is the CLI over them.
 
 See README.md for the quickstart and DESIGN.md for the system map.
 """
 
-from . import baselines, eval, formats, graphs, mega, nn, quant, sim, tensor
+from . import (baselines, eval, formats, graphs, mega, nn, paper_data, quant,
+               registry, report, sim, tensor)
 
 __version__ = "1.0.0"
 
@@ -27,5 +34,8 @@ __all__ = [
     "mega",
     "baselines",
     "eval",
+    "registry",
+    "report",
+    "paper_data",
     "__version__",
 ]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the unified CLI (see :mod:`repro.cli`)."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

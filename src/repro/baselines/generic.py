@@ -28,7 +28,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..formats.base import bits_needed
+from ..paper_data import TABLE_V_BASELINES, TABLE_VII_ORIGINAL
 from ..perf.cache import cached_partition
+from ..registry import ACCELERATORS, AcceleratorEntry
 from ..sim import BufferSet, BufferSpec, DramModel
 from ..sim.accelerator import AcceleratorModel, LayerCost
 from ..sim.locality import aggregation_locality_traffic
@@ -58,55 +60,25 @@ class BaselineConfig:
     total_buffer_kb: float = 392.0
 
 
-# Matched configurations (Table V) + original configurations (Table VII).
+# Matched configurations (Table V, numbers in repro.paper_data) ...
 BASELINE_PRESETS: Dict[str, BaselineConfig] = {
-    "hygcn": BaselineConfig(
-        name="hygcn", execution_order="AXW", combination_lanes=512,
-        aggregation_lanes=64, sparsity_combination=False,
-        sparsity_aggregation=False, storage="dense", locality="naive",
-        dram_overlap=0.3, total_power_mw=250.0),
-    "gcnax": BaselineConfig(
-        name="gcnax", combination_lanes=32, aggregation_lanes=32,
-        storage="dense", locality="naive", dram_overlap=0.7,
-        total_power_mw=220.0),
-    "grow": BaselineConfig(
-        name="grow", combination_lanes=32, aggregation_lanes=32,
-        storage="csr", locality="metis", dram_overlap=0.7,
-        total_power_mw=230.0),
-    # SGCN streams its compressed-sparse features straight into the
-    # compute array, so zero features are skipped, but the systolic
-    # dataflow leaves bubbles (the paper's Sec. II-C criticism) —
-    # modeled as a 50% utilization factor.
-    "sgcn": BaselineConfig(
-        name="sgcn", combination_lanes=64, aggregation_lanes=64,
-        sparsity_combination=True, combination_utilization=0.5,
-        storage="sgcn", locality="naive",
-        dram_overlap=0.8, total_power_mw=235.0),
-    # 8-bit variants: DQ-INT8 networks on BitOP-matched integer units.
-    "hygcn-8bit": None,   # filled below
-    "gcnax-8bit": None,
-    # HyGCN-C: HyGCN with the A(XW) execution order (Fig. 19 baseline).
-    "hygcn-c": None,
-    # Original configurations (Table VII).
-    "gcnax-original": None,
-    "grow-original": None,
+    name: BaselineConfig(name=name, **params)
+    for name, params in TABLE_V_BASELINES.items()
 }
-
+# ... plus the derived variants:
+# 8-bit variants: DQ-INT8 networks on BitOP-matched integer units.
 BASELINE_PRESETS["hygcn-8bit"] = replace(
     BASELINE_PRESETS["hygcn"], name="hygcn-8bit", feature_bits=8)
 BASELINE_PRESETS["gcnax-8bit"] = replace(
     BASELINE_PRESETS["gcnax"], name="gcnax-8bit", feature_bits=8)
+# HyGCN-C: HyGCN with the A(XW) execution order (Fig. 19 baseline).
 BASELINE_PRESETS["hygcn-c"] = replace(
     BASELINE_PRESETS["hygcn"], name="hygcn-c", execution_order="A_XW",
     combination_lanes=512)
-BASELINE_PRESETS["gcnax-original"] = replace(
-    BASELINE_PRESETS["gcnax"], name="gcnax-original", combination_lanes=16,
-    aggregation_lanes=16, total_buffer_kb=580.0, aggregation_buffer_kb=192.0,
-    total_power_mw=223.18)
-BASELINE_PRESETS["grow-original"] = replace(
-    BASELINE_PRESETS["grow"], name="grow-original", combination_lanes=16,
-    aggregation_lanes=16, total_buffer_kb=538.0, aggregation_buffer_kb=176.0,
-    total_power_mw=242.44)
+# Original configurations (Table VII, numbers in repro.paper_data).
+for _name, _params in TABLE_VII_ORIGINAL.items():
+    _base = BASELINE_PRESETS[_name.split("-")[0]]
+    BASELINE_PRESETS[_name] = replace(_base, name=_name, **_params)
 
 
 def build_baseline(name: str, dram: Optional[DramModel] = None) -> "GenericAcceleratorModel":
@@ -116,6 +88,28 @@ def build_baseline(name: str, dram: Optional[DramModel] = None) -> "GenericAccel
         raise ValueError(f"unknown baseline {name!r}; "
                          f"expected one of {sorted(BASELINE_PRESETS)}")
     return GenericAcceleratorModel(BASELINE_PRESETS[key], dram=dram)
+
+
+def _register_baselines() -> None:
+    """Register every preset with the accelerator registry.
+
+    The workload precision pairing is the paper's: the "naively replace
+    the computation units" 8-bit variants consume uniform INT8 networks
+    (Sec. VI-C1), everything else runs FP32.
+    """
+    for name, config in BASELINE_PRESETS.items():
+        def factory(_name=name, **kwargs):
+            return build_baseline(_name, **kwargs)
+        ACCELERATORS.add(name, AcceleratorEntry(
+            name=name,
+            factory=factory,
+            precision="int8" if name.endswith("-8bit") else "fp32",
+            description=(f"{config.storage} storage, {config.locality} "
+                         f"locality, {config.feature_bits}-bit features"),
+        ))
+
+
+_register_baselines()
 
 
 class GenericAcceleratorModel(AcceleratorModel):

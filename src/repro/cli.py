@@ -1,0 +1,162 @@
+"""The unified command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+- ``list [accelerators|datasets|suites|experiments]`` — inspect the
+  registries (everything ``run`` accepts by name);
+- ``run [experiment ...]`` — execute registered experiments through the
+  cached sweep engine and write schema'd artifacts (JSON/CSV/markdown)
+  to ``--out``; with no experiment named, runs every spec flagged as a
+  smoke experiment.  ``--suite`` re-points suite-parameterized specs at
+  a registered workload suite;
+- ``bench`` — the hot-kernel + end-to-end sweep benchmark (forwards to
+  :mod:`repro.perf.bench`, which remains importable directly).
+
+Examples::
+
+    python -m repro list accelerators
+    python -m repro run speedup_table --suite quick --out artifacts
+    python -m repro run --suite scale-sweep --workers 4
+    python -m repro bench --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .registry import (ACCELERATORS, DATASETS, EXPERIMENTS, SUITES,
+                       RegistryError, get_experiment, get_suite)
+from .report import run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Registry-driven experiment runner for the MEGA "
+                    "reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser(
+        "list", help="list registered accelerators/datasets/suites/experiments")
+    list_p.add_argument("what", nargs="?", default="all",
+                        choices=("all", "accelerators", "datasets", "suites",
+                                 "experiments"))
+
+    run_p = sub.add_parser(
+        "run", help="run experiments and write schema'd artifacts")
+    run_p.add_argument("experiments", nargs="*", metavar="experiment",
+                       help="experiment names (default: every smoke-flagged "
+                            "experiment)")
+    run_p.add_argument("--suite", default=None,
+                       help="bind a registered workload suite to each "
+                            "experiment's suite parameter")
+    run_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for cold job batches "
+                            "(default: the engine's REPRO_SWEEP_WORKERS)")
+    run_p.add_argument("--out", default=None, metavar="DIR",
+                       help="directory to write artifacts into (default: "
+                            "print only)")
+    run_p.add_argument("--formats", default="json",
+                       help="comma-separated artifact formats for --out: "
+                            "json,csv,md (default: json)")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress the markdown table printout")
+
+    sub.add_parser(
+        "bench", add_help=False,
+        help="hot-kernel + sweep benchmarks (see `python -m repro bench "
+             "--help`)")
+    return parser
+
+
+def _cmd_list(what: str) -> int:
+    sections = {
+        "accelerators": (ACCELERATORS, lambda e: f"[{e.precision}] {e.description}"),
+        "datasets": (DATASETS, lambda e: e.description),
+        "suites": (SUITES, lambda e: f"{len(e.workloads)} workloads — {e.description}"),
+        "experiments": (EXPERIMENTS, lambda e: e.description
+                        + (" [smoke]" if e.smoke else "")),
+    }
+    selected = sections if what == "all" else {what: sections[what]}
+    for title, (registry, describe) in selected.items():
+        print(f"{title} ({len(registry)}):")
+        width = max((len(n) for n in registry.names()), default=0)
+        for name, entry in registry.items():
+            print(f"  {name:<{width}}  {describe(entry)}")
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.experiments)
+    if not names:
+        names = [name for name, spec in EXPERIMENTS.items() if spec.smoke]
+        if not names:
+            print("no smoke experiments registered", file=sys.stderr)
+            return 2
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    unknown_formats = set(formats) - {"json", "csv", "md"}
+    if unknown_formats:
+        print(f"error: unknown --formats {sorted(unknown_formats)}; "
+              f"expected json, csv, md", file=sys.stderr)
+        return 2
+
+    # Resolve every name up front so a typo fails before any sweep runs.
+    for name in names:
+        get_experiment(name)
+    for name in names:
+        spec = get_experiment(name)
+        params = {}
+        if args.suite is not None:
+            suite = get_suite(args.suite)
+            if spec.suite_param is None:
+                if args.experiments:
+                    raise RegistryError(
+                        f"experiment {name!r} is not suite-parameterized; "
+                        f"drop --suite or pick one of: "
+                        f"{', '.join(n for n, s in EXPERIMENTS.items() if s.suite_param)}")
+                # Smoke-set run: specs without a suite parameter run on
+                # their declared defaults.
+            else:
+                params = spec.suite_params(suite)
+        artifact = run_experiment(name, workers=args.workers, **params)
+        if not args.quiet:
+            jobs = artifact.metadata["jobs"]
+            print(f"== {artifact.experiment} "
+                  f"({jobs['unique']} jobs, {jobs['executed']} executed, "
+                  f"{artifact.metadata['elapsed_s'] * 1e3:.0f} ms) ==")
+            print(artifact.to_markdown())
+            print()
+        if args.out:
+            for path in artifact.save(args.out, formats=formats):
+                print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `bench` forwards everything after the subcommand to repro.perf.bench.
+    if argv and argv[0] == "bench":
+        from .perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args.what)
+        if args.command == "run":
+            return _cmd_run(args)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unhandled command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,11 @@ the accelerator, dataset, model, precision variant and quantization
 target; a :class:`TrainJob` names the dataset, model, quantization flow
 (with frozen flow kwargs), seed and a :class:`~repro.nn.TrainConfig`
 digest — and :class:`SweepEngine` executes deduplicated batches of
-either kind through three layers:
+either kind.  Accelerators and datasets resolve through
+:mod:`repro.registry` (config factories and loaders registered by the
+subsystems themselves), so a job over any registered scenario — paper
+stand-in, synthetic scale sweep, or user-defined — flows through the
+same three layers:
 
 1. an in-process memory cache (same object returned for repeat jobs, so
    figure scripts sharing a sweep stay cheap and identity-stable);
@@ -63,6 +67,7 @@ from ..perf.cache import (
     graph_fingerprint,
 )
 from ..quant.flows import TRAIN_FLOWS, freeze_value, thaw_value
+from ..registry import get_accelerator
 from ..sim.accelerator import SimReport
 from ..sim.workload import Workload, build_workload
 
@@ -101,12 +106,9 @@ class SimJob:
 
     @property
     def precision(self) -> str:
-        """The workload precision the paper pairs with this accelerator."""
-        if self.accelerator == "mega":
-            return "degree-aware"
-        if self.accelerator.endswith("-8bit"):
-            return "int8"
-        return "fp32"
+        """The workload precision the paper pairs with this accelerator
+        (registry metadata, not a name pattern)."""
+        return get_accelerator(self.accelerator).precision
 
     @property
     def variant_label(self) -> str:
@@ -200,21 +202,18 @@ def _execute_train_job(job: TrainJob):
 
 
 def _execute_job(job):
-    """Execute one job of either kind (dispatch on the job type)."""
+    """Execute one job of either kind (dispatch on the job type).
+
+    Simulation jobs resolve their accelerator through the registry, so
+    a registered scenario never needs an engine edit; variant kwargs
+    are rejected by entries that declare a fixed configuration.
+    """
     if isinstance(job, TrainJob):
         return _execute_train_job(job)
     workload = _build_job_workload(job)
-    if job.accelerator == "mega":
-        from ..mega import MegaModel
-
-        return MegaModel(**dict(job.variant)).simulate(workload)
-    from ..baselines import build_baseline
-
-    if job.variant:
-        raise ValueError(
-            f"variant kwargs {job.variant_label!r} only apply to 'mega', "
-            f"not {job.accelerator!r}")
-    return build_baseline(job.accelerator).simulate(workload)
+    entry = get_accelerator(job.accelerator)
+    # entry.build rejects variant kwargs on fixed-configuration presets.
+    return entry.build(**dict(job.variant)).simulate(workload)
 
 
 def _execute_chunk(jobs: Sequence) -> List:
@@ -288,18 +287,25 @@ class SweepEngine:
 
     def job_fingerprint(self, job) -> str:
         """Disk key of one job: input-graph content + the full job
-        recipe (the code version — covering every model/flow/trainer
-        source file — scopes the store's namespace directory)."""
+        recipe + the registry entries' cache tokens (the code version —
+        covering every model/flow/trainer source file — scopes the
+        store's namespace directory; the tokens cover runtime-registered
+        accelerators/scenarios the source digest cannot see)."""
+        from ..registry import get_dataset
+
+        dataset_token = get_dataset(job.dataset).cache_token
         if isinstance(job, TrainJob):
             return content_key(
                 "train-result",
                 self.dataset_fingerprint(job.dataset, job.dataset_seed,
                                          job.scale),
+                dataset_token,
                 job.model, job.flow, job.flow_kwargs, job.config, job.seed,
             )
         return content_key(
             "sim-report",
             self.dataset_fingerprint(job.dataset, job.seed),
+            dataset_token, get_accelerator(job.accelerator).cache_token,
             job.accelerator, job.model, job.precision, job.variant,
             job.target_average_bits, job.seed,
         )
@@ -420,8 +426,11 @@ class SweepEngine:
 
         if self.disk is None:
             return build()
+        from ..registry import get_dataset
+
         disk_key = content_key(
-            "workload", self.dataset_fingerprint(dataset, seed), key)
+            "workload", self.dataset_fingerprint(dataset, seed),
+            get_dataset(dataset).cache_token, key)
         workload = self.disk.get_or_compute(disk_key, build)
         return _WORKLOAD_MEMO.put(key, workload)
 

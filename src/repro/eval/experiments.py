@@ -1,20 +1,28 @@
 """Experiment runners regenerating every evaluation table and figure.
 
-Each function corresponds to one artifact of the paper's Sec. VI (see
-DESIGN.md §5 for the index).  Every runner expresses its sweep as a
-declarative batch of :class:`~repro.eval.engine.SimJob` and hands it to
-the shared :class:`~repro.eval.engine.SweepEngine`, which deduplicates
-jobs, replays them from the persistent on-disk cache when possible, and
-can fan cold batches out over worker processes (``REPRO_SWEEP_WORKERS``).
+Each artifact of the paper's Sec. VI (see DESIGN.md §5 for the index)
+is declared as an :class:`~repro.registry.ExperimentSpec` — a job-batch
+builder plus a reducer — registered with the experiment registry and
+executed through :func:`repro.report.run_experiment`, which wraps the
+outcome in a schema'd :class:`~repro.report.Artifact` (the CLI's
+``repro run <experiment>`` path).  The legacy function names
+(``speedup_table`` & co.) remain as thin shims returning the artifact's
+in-memory value — bit-identical to the pre-registry implementations.
+
+Workload suites (``paper``, ``quick``, ``scale-sweep``, ``smoke``) are
+registered here too; any spec with a ``suite_param`` can be re-pointed
+at a suite from the CLI (``--suite``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..perf.cache import cached_partition, clear_all_caches
+from ..registry import EXPERIMENTS, SUITES, ExperimentSpec, SuiteEntry
+from ..report import run_experiment
 from ..sim.accelerator import SimReport
 from ..sim.dram import DramModel
 from ..sim.locality import aggregation_locality_traffic
@@ -25,6 +33,7 @@ from .reporting import geomean
 __all__ = [
     "PAPER_WORKLOADS",
     "QUICK_WORKLOADS",
+    "SCALE_SWEEP_WORKLOADS",
     "get_workload",
     "simulate",
     "full_comparison",
@@ -55,7 +64,27 @@ QUICK_WORKLOADS: Tuple[Tuple[str, str], ...] = (
     ("cora", "gin"), ("cora", "graphsage"),
 )
 
+# Registered synthetic scale-sweep scenarios (10k-50k node graphs by
+# default; the 100k/500k datasets are registered for explicit use).
+SCALE_SWEEP_WORKLOADS: Tuple[Tuple[str, str], ...] = (
+    ("powerlaw-10k", "gcn"), ("powerlaw-50k", "gcn"),
+    ("community-10k", "gcn"), ("community-50k", "gin"),
+)
+
 BASELINE_NAMES = ("hygcn", "gcnax", "grow", "sgcn")
+
+SUITES.add("paper", SuiteEntry(
+    "paper", PAPER_WORKLOADS,
+    "the paper's ten evaluation workloads (Fig. 14/16/17)"))
+SUITES.add("quick", SuiteEntry(
+    "quick", QUICK_WORKLOADS,
+    "fast five-workload subset for tests and CI"))
+SUITES.add("smoke", SuiteEntry(
+    "smoke", (("cora", "gcn"), ("citeseer", "gcn")),
+    "two tiny workloads for the fastest possible end-to-end check"))
+SUITES.add("scale-sweep", SuiteEntry(
+    "scale-sweep", SCALE_SWEEP_WORKLOADS,
+    "synthetic power-law/community scenarios at 10k-50k nodes"))
 
 
 def _sim_graph(dataset: str):
@@ -72,8 +101,9 @@ def simulate(accelerator: str, dataset: str, model: str,
     """Simulate one (accelerator, workload) pair through the engine.
 
     MEGA consumes the degree-aware mixed-precision workload; the 8-bit
-    variants consume uniform INT8; everything else runs FP32 — exactly
-    the paper's setting.
+    variants consume uniform INT8; everything else runs FP32 — the
+    pairing each accelerator's registry entry declares (exactly the
+    paper's setting).
     """
     return get_engine().simulate(accelerator, dataset, model, **mega_kwargs)
 
@@ -89,32 +119,40 @@ def clear_caches() -> None:
     clear_all_caches()
 
 
-def full_comparison(workloads: Sequence[Tuple[str, str]] = QUICK_WORKLOADS,
-                    accelerators: Sequence[str] = BASELINE_NAMES + ("mega",),
-                    ) -> Dict[Tuple[str, str], Dict[str, SimReport]]:
-    """All (workload, accelerator) simulation reports, as one batch."""
-    jobs = {(dataset, model, name): SimJob.from_call(name, dataset, model)
+# ----------------------------------------------------------------------
+# Spec builders/reducers (the declarative form of every runner)
+# ----------------------------------------------------------------------
+
+def _grid_jobs(workloads, accelerators) -> Dict[tuple, SimJob]:
+    return {(dataset, model, name): SimJob.from_call(name, dataset, model)
             for dataset, model in workloads for name in accelerators}
-    reports = get_engine().run(list(jobs.values()))
+
+
+def _full_comparison_jobs(workloads, accelerators):
+    return _grid_jobs(workloads, accelerators)
+
+
+def _full_comparison_reduce(results: Mapping, workloads, accelerators):
     return {
         (dataset, model): {
-            name: reports[jobs[(dataset, model, name)]] for name in accelerators
+            name: results[(dataset, model, name)] for name in accelerators
         }
         for dataset, model in workloads
     }
 
 
-def _ratio_table(metric: str,
-                 workloads: Sequence[Tuple[str, str]],
-                 accelerators: Sequence[str]) -> Dict[str, Dict[str, float]]:
+def _ratio_jobs(workloads, accelerators):
+    return _grid_jobs(workloads, tuple(accelerators) + ("mega",))
+
+
+def _ratio_reduce(metric: str, results: Mapping, workloads, accelerators):
     """Per-workload ratios of a metric vs MEGA, plus the geomean row."""
-    results = full_comparison(workloads, tuple(accelerators) + ("mega",))
     table: Dict[str, Dict[str, float]] = {}
-    for (dataset, model), reports in results.items():
-        mega = reports["mega"]
+    for dataset, model in workloads:
+        mega = results[(dataset, model, "mega")]
         row = {}
         for name in accelerators:
-            rep = reports[name]
+            rep = results[(dataset, model, name)]
             if metric == "speedup":
                 row[name] = rep.total_cycles / mega.total_cycles
             elif metric == "dram":
@@ -132,66 +170,36 @@ def _ratio_table(metric: str,
     return table
 
 
-def speedup_table(workloads=QUICK_WORKLOADS,
-                  accelerators=BASELINE_NAMES + ("hygcn-8bit", "gcnax-8bit")):
-    """Fig. 14: MEGA's speedup over every baseline per workload."""
-    return _ratio_table("speedup", workloads, accelerators)
-
-
-def dram_table(workloads=QUICK_WORKLOADS, accelerators=BASELINE_NAMES):
-    """Fig. 16: DRAM access reduction of MEGA over the baselines."""
-    return _ratio_table("dram", workloads, accelerators)
-
-
-def energy_table(workloads=QUICK_WORKLOADS, accelerators=BASELINE_NAMES):
-    """Fig. 17: energy savings of MEGA over the baselines."""
-    return _ratio_table("energy", workloads, accelerators)
-
-
-def stall_table(datasets=("cora", "citeseer", "pubmed"),
-                accelerators=("hygcn", "gcnax", "mega")) -> Dict[str, Dict[str, float]]:
-    """Fig. 20(a): fraction of cycles stalled on DRAM, GCN workloads."""
-    jobs = {(dataset, name): SimJob.from_call(name, dataset, "gcn")
+def _stall_jobs(datasets, accelerators):
+    return {(dataset, name): SimJob.from_call(name, dataset, "gcn")
             for dataset in datasets for name in accelerators}
-    reports = get_engine().run(list(jobs.values()))
+
+
+def _stall_reduce(results: Mapping, datasets, accelerators):
     return {
         dataset: {
-            name: reports[jobs[(dataset, name)]].stall_fraction
+            name: results[(dataset, name)].stall_fraction
             for name in accelerators
         }
         for dataset in datasets
     }
 
 
-def ablation_fig19(dataset: str = "cora", model: str = "gcn") -> Dict[str, SimReport]:
-    """Fig. 19: contribution of each technique, vs HyGCN-C.
-
-    Steps: HyGCN-C (A(XW) order, FP32) -> +quantization stored in Bitmap
-    -> +Adaptive-Package -> +Condense-Edge (full MEGA).
-    """
-    jobs = {
+def _ablation_jobs(dataset, model):
+    return {
         "hygcn-c": SimJob.from_call("hygcn-c", dataset, model),
-        "quant+bitmap": SimJob.from_call(
-            "mega", dataset, model, {"storage": "bitmap", "condense": False}),
-        "+adaptive-package": SimJob.from_call(
-            "mega", dataset, model, {"condense": False}),
+        "quant+bitmap": SimJob.from_call("mega-bitmap", dataset, model),
+        "+adaptive-package": SimJob.from_call("mega-no-condense", dataset, model),
         "+condense-edge": SimJob.from_call("mega", dataset, model),
     }
-    reports = get_engine().run(list(jobs.values()))
-    return {step: reports[job] for step, job in jobs.items()}
 
 
-def locality_study(dataset: str = "cora", feature_dim: int = 128,
-                   feature_bits: int = 4,
-                   strategies=("naive", "metis", "gcod", "condense"),
-                   num_parts: Optional[int] = None) -> Dict[str, Dict[str, float]]:
-    """Fig. 6 / Fig. 20(b): aggregation DRAM per scheduling strategy.
+def _ablation_reduce(results: Mapping, dataset, model):
+    return dict(results)
 
-    Returns per strategy the internal ("in subgraphs") and cross
-    ("sparse connections") traffic in MB.  The whole table is
-    content-cached through the engine (keyed by the graph fingerprint
-    and every parameter), so repeat figure runs replay it from disk.
-    """
+
+def _locality_reduce(results: Mapping, dataset, feature_dim, feature_bits,
+                     strategies, num_parts):
     engine = get_engine()
 
     def compute() -> Dict[str, Dict[str, float]]:
@@ -223,13 +231,7 @@ def locality_study(dataset: str = "cora", feature_dim: int = 128,
     return engine.cached_table(key, compute)
 
 
-def package_length_study(
-    datasets=("cora", "citeseer", "pubmed"),
-    settings=((16, 24, 32), (64, 128, 192), (160, 192, 296),
-              (192, 296, 400), (400, 512, 800)),
-) -> Dict[str, Dict[Tuple[int, int, int], float]]:
-    """Fig. 21: input-feature DRAM vs package length levels, normalized
-    to each dataset's optimum."""
+def _package_length_reduce(results: Mapping, datasets, settings):
     from ..formats import AdaptivePackageFormat, PackageConfig
 
     engine = get_engine()
@@ -255,40 +257,40 @@ def package_length_study(
     return out
 
 
-def cr_sensitivity(dataset: str = "cora", models=("gcn", "gin"),
-                   targets=(8.0, 6.4, 4.3, 3.2, 2.5)) -> Dict[str, Dict[float, float]]:
-    """Fig. 22: MEGA speedup over HyGCN as compression ratio grows."""
-    jobs = {}
+def _cr_jobs(dataset, models, targets):
+    jobs: Dict[tuple, SimJob] = {}
     for model in models:
         jobs[(model, None)] = SimJob.from_call("hygcn", dataset, model)
         for target in targets:
             jobs[(model, target)] = SimJob.from_call(
                 "mega", dataset, model, target_average_bits=target)
-    reports = get_engine().run(list(jobs.values()))
+    return jobs
+
+
+def _cr_reduce(results: Mapping, dataset, models, targets):
     out: Dict[str, Dict[float, float]] = {}
     for model in models:
-        hygcn = reports[jobs[(model, None)]]
+        hygcn = results[(model, None)]
         out[model] = {
             round(32.0 / target, 1):
-                hygcn.total_cycles / reports[jobs[(model, target)]].total_cycles
+                hygcn.total_cycles / results[(model, target)].total_cycles
             for target in targets
         }
     return out
 
 
-def original_config_comparison(datasets=("cora", "citeseer", "pubmed"),
-                               model: str = "gcn") -> Dict[str, Dict[str, float]]:
-    """Fig. 15: MEGA vs GCNAX/GROW in their original configurations,
-    normalized to GCNAX."""
+def _original_config_jobs(datasets, model):
     accelerators = ("gcnax-original", "grow-original", "mega")
-    jobs = {(dataset, name): SimJob.from_call(name, dataset, model)
+    return {(dataset, name): SimJob.from_call(name, dataset, model)
             for dataset in datasets for name in accelerators}
-    reports = get_engine().run(list(jobs.values()))
+
+
+def _original_config_reduce(results: Mapping, datasets, model):
     out: Dict[str, Dict[str, float]] = {}
     for dataset in datasets:
-        gcnax = reports[jobs[(dataset, "gcnax-original")]]
-        grow = reports[jobs[(dataset, "grow-original")]]
-        mega = reports[jobs[(dataset, "mega")]]
+        gcnax = results[(dataset, "gcnax-original")]
+        grow = results[(dataset, "grow-original")]
+        mega = results[(dataset, "mega")]
         out[dataset] = {
             "gcnax": 1.0,
             "grow": gcnax.total_cycles / grow.total_cycles,
@@ -297,16 +299,16 @@ def original_config_comparison(datasets=("cora", "citeseer", "pubmed"),
     return out
 
 
-def energy_breakdown_fig18(datasets=("cora", "citeseer", "pubmed"),
-                           model: str = "gcn") -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Fig. 18: DRAM/SRAM/PU/leakage energy, HyGCN normalized to MEGA."""
-    jobs = {(dataset, name): SimJob.from_call(name, dataset, model)
+def _energy_breakdown_jobs(datasets, model):
+    return {(dataset, name): SimJob.from_call(name, dataset, model)
             for dataset in datasets for name in ("mega", "hygcn")}
-    reports = get_engine().run(list(jobs.values()))
+
+
+def _energy_breakdown_reduce(results: Mapping, datasets, model):
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for dataset in datasets:
-        mega = reports[jobs[(dataset, "mega")]].energy
-        hygcn = reports[jobs[(dataset, "hygcn")]].energy
+        mega = results[(dataset, "mega")].energy
+        hygcn = results[(dataset, "hygcn")].energy
         out[dataset] = {
             "mega": {"dram": 1.0, "sram": 1.0, "pu": 1.0, "leakage": 1.0},
             "hygcn": {
@@ -317,3 +319,225 @@ def energy_breakdown_fig18(datasets=("cora", "citeseer", "pubmed"),
             },
         }
     return out
+
+
+def _no_jobs(**params):
+    return {}
+
+
+EXPERIMENTS.add("full_comparison", ExperimentSpec(
+    name="full_comparison",
+    description="All (workload, accelerator) simulation reports, one batch",
+    build_jobs=_full_comparison_jobs,
+    reduce=_full_comparison_reduce,
+    defaults=(("workloads", QUICK_WORKLOADS),
+              ("accelerators", BASELINE_NAMES + ("mega",))),
+    suite_param="workloads",
+))
+
+EXPERIMENTS.add("speedup_table", ExperimentSpec(
+    name="speedup_table",
+    description="Fig. 14: MEGA's speedup over every baseline per workload",
+    build_jobs=_ratio_jobs,
+    reduce=lambda results, workloads, accelerators: _ratio_reduce(
+        "speedup", results, workloads, accelerators),
+    defaults=(("workloads", QUICK_WORKLOADS),
+              ("accelerators", BASELINE_NAMES + ("hygcn-8bit", "gcnax-8bit"))),
+    suite_param="workloads",
+    smoke=True,
+))
+
+EXPERIMENTS.add("dram_table", ExperimentSpec(
+    name="dram_table",
+    description="Fig. 16: DRAM access reduction of MEGA over the baselines",
+    build_jobs=_ratio_jobs,
+    reduce=lambda results, workloads, accelerators: _ratio_reduce(
+        "dram", results, workloads, accelerators),
+    defaults=(("workloads", QUICK_WORKLOADS), ("accelerators", BASELINE_NAMES)),
+    suite_param="workloads",
+    smoke=True,
+))
+
+EXPERIMENTS.add("energy_table", ExperimentSpec(
+    name="energy_table",
+    description="Fig. 17: energy savings of MEGA over the baselines",
+    build_jobs=_ratio_jobs,
+    reduce=lambda results, workloads, accelerators: _ratio_reduce(
+        "energy", results, workloads, accelerators),
+    defaults=(("workloads", QUICK_WORKLOADS), ("accelerators", BASELINE_NAMES)),
+    suite_param="workloads",
+    smoke=True,
+))
+
+EXPERIMENTS.add("stall_table", ExperimentSpec(
+    name="stall_table",
+    description="Fig. 20(a): fraction of cycles stalled on DRAM, GCN workloads",
+    build_jobs=_stall_jobs,
+    reduce=_stall_reduce,
+    defaults=(("datasets", ("cora", "citeseer", "pubmed")),
+              ("accelerators", ("hygcn", "gcnax", "mega"))),
+    suite_param="datasets",
+    suite_kind="datasets",
+    smoke=True,
+))
+
+EXPERIMENTS.add("ablation_fig19", ExperimentSpec(
+    name="ablation_fig19",
+    description="Fig. 19: contribution of each technique, vs HyGCN-C",
+    build_jobs=_ablation_jobs,
+    reduce=_ablation_reduce,
+    defaults=(("dataset", "cora"), ("model", "gcn")),
+    smoke=True,
+))
+
+EXPERIMENTS.add("locality_study", ExperimentSpec(
+    name="locality_study",
+    description="Fig. 6 / Fig. 20(b): aggregation DRAM per scheduling strategy",
+    build_jobs=_no_jobs,
+    reduce=_locality_reduce,
+    defaults=(("dataset", "cora"), ("feature_dim", 128), ("feature_bits", 4),
+              ("strategies", ("naive", "metis", "gcod", "condense")),
+              ("num_parts", None)),
+    smoke=True,
+))
+
+EXPERIMENTS.add("package_length_study", ExperimentSpec(
+    name="package_length_study",
+    description="Fig. 21: input-feature DRAM vs package length levels, "
+                "normalized to each dataset's optimum",
+    build_jobs=_no_jobs,
+    reduce=_package_length_reduce,
+    defaults=(("datasets", ("cora", "citeseer", "pubmed")),
+              ("settings", ((16, 24, 32), (64, 128, 192), (160, 192, 296),
+                            (192, 296, 400), (400, 512, 800)))),
+    suite_param="datasets",
+    suite_kind="datasets",
+    smoke=True,
+))
+
+EXPERIMENTS.add("cr_sensitivity", ExperimentSpec(
+    name="cr_sensitivity",
+    description="Fig. 22: MEGA speedup over HyGCN as compression ratio grows",
+    build_jobs=_cr_jobs,
+    reduce=_cr_reduce,
+    defaults=(("dataset", "cora"), ("models", ("gcn", "gin")),
+              ("targets", (8.0, 6.4, 4.3, 3.2, 2.5))),
+))
+
+EXPERIMENTS.add("original_config_comparison", ExperimentSpec(
+    name="original_config_comparison",
+    description="Fig. 15: MEGA vs GCNAX/GROW in their original "
+                "configurations, normalized to GCNAX",
+    build_jobs=_original_config_jobs,
+    reduce=_original_config_reduce,
+    defaults=(("datasets", ("cora", "citeseer", "pubmed")), ("model", "gcn")),
+    suite_param="datasets",
+    suite_kind="datasets",
+))
+
+EXPERIMENTS.add("energy_breakdown_fig18", ExperimentSpec(
+    name="energy_breakdown_fig18",
+    description="Fig. 18: DRAM/SRAM/PU/leakage energy, HyGCN normalized to MEGA",
+    build_jobs=_energy_breakdown_jobs,
+    reduce=_energy_breakdown_reduce,
+    defaults=(("datasets", ("cora", "citeseer", "pubmed")), ("model", "gcn")),
+    suite_param="datasets",
+    suite_kind="datasets",
+))
+
+
+# ----------------------------------------------------------------------
+# Legacy shims (same names, same signatures, bit-identical values)
+# ----------------------------------------------------------------------
+
+def full_comparison(workloads: Sequence[Tuple[str, str]] = QUICK_WORKLOADS,
+                    accelerators: Sequence[str] = BASELINE_NAMES + ("mega",),
+                    ) -> Dict[Tuple[str, str], Dict[str, SimReport]]:
+    """All (workload, accelerator) simulation reports, as one batch."""
+    return run_experiment("full_comparison", workloads=tuple(workloads),
+                          accelerators=tuple(accelerators)).value
+
+
+def speedup_table(workloads=QUICK_WORKLOADS,
+                  accelerators=BASELINE_NAMES + ("hygcn-8bit", "gcnax-8bit")):
+    """Fig. 14: MEGA's speedup over every baseline per workload."""
+    return run_experiment("speedup_table", workloads=tuple(workloads),
+                          accelerators=tuple(accelerators)).value
+
+
+def dram_table(workloads=QUICK_WORKLOADS, accelerators=BASELINE_NAMES):
+    """Fig. 16: DRAM access reduction of MEGA over the baselines."""
+    return run_experiment("dram_table", workloads=tuple(workloads),
+                          accelerators=tuple(accelerators)).value
+
+
+def energy_table(workloads=QUICK_WORKLOADS, accelerators=BASELINE_NAMES):
+    """Fig. 17: energy savings of MEGA over the baselines."""
+    return run_experiment("energy_table", workloads=tuple(workloads),
+                          accelerators=tuple(accelerators)).value
+
+
+def stall_table(datasets=("cora", "citeseer", "pubmed"),
+                accelerators=("hygcn", "gcnax", "mega")) -> Dict[str, Dict[str, float]]:
+    """Fig. 20(a): fraction of cycles stalled on DRAM, GCN workloads."""
+    return run_experiment("stall_table", datasets=tuple(datasets),
+                          accelerators=tuple(accelerators)).value
+
+
+def ablation_fig19(dataset: str = "cora", model: str = "gcn") -> Dict[str, SimReport]:
+    """Fig. 19: contribution of each technique, vs HyGCN-C.
+
+    Steps: HyGCN-C (A(XW) order, FP32) -> +quantization stored in Bitmap
+    -> +Adaptive-Package -> +Condense-Edge (full MEGA).
+    """
+    return run_experiment("ablation_fig19", dataset=dataset, model=model).value
+
+
+def locality_study(dataset: str = "cora", feature_dim: int = 128,
+                   feature_bits: int = 4,
+                   strategies=("naive", "metis", "gcod", "condense"),
+                   num_parts: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+    """Fig. 6 / Fig. 20(b): aggregation DRAM per scheduling strategy.
+
+    Returns per strategy the internal ("in subgraphs") and cross
+    ("sparse connections") traffic in MB.  The whole table is
+    content-cached through the engine (keyed by the graph fingerprint
+    and every parameter), so repeat figure runs replay it from disk.
+    """
+    return run_experiment("locality_study", dataset=dataset,
+                          feature_dim=feature_dim, feature_bits=feature_bits,
+                          strategies=tuple(strategies),
+                          num_parts=num_parts).value
+
+
+def package_length_study(
+    datasets=("cora", "citeseer", "pubmed"),
+    settings=((16, 24, 32), (64, 128, 192), (160, 192, 296),
+              (192, 296, 400), (400, 512, 800)),
+) -> Dict[str, Dict[Tuple[int, int, int], float]]:
+    """Fig. 21: input-feature DRAM vs package length levels, normalized
+    to each dataset's optimum."""
+    return run_experiment("package_length_study", datasets=tuple(datasets),
+                          settings=tuple(tuple(s) for s in settings)).value
+
+
+def cr_sensitivity(dataset: str = "cora", models=("gcn", "gin"),
+                   targets=(8.0, 6.4, 4.3, 3.2, 2.5)) -> Dict[str, Dict[float, float]]:
+    """Fig. 22: MEGA speedup over HyGCN as compression ratio grows."""
+    return run_experiment("cr_sensitivity", dataset=dataset,
+                          models=tuple(models), targets=tuple(targets)).value
+
+
+def original_config_comparison(datasets=("cora", "citeseer", "pubmed"),
+                               model: str = "gcn") -> Dict[str, Dict[str, float]]:
+    """Fig. 15: MEGA vs GCNAX/GROW in their original configurations,
+    normalized to GCNAX."""
+    return run_experiment("original_config_comparison",
+                          datasets=tuple(datasets), model=model).value
+
+
+def energy_breakdown_fig18(datasets=("cora", "citeseer", "pubmed"),
+                           model: str = "gcn") -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 18: DRAM/SRAM/PU/leakage energy, HyGCN normalized to MEGA."""
+    return run_experiment("energy_breakdown_fig18",
+                          datasets=tuple(datasets), model=model).value

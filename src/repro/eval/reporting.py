@@ -6,7 +6,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["geomean", "format_table", "print_table", "normalize_to"]
+__all__ = ["geomean", "format_table", "print_table", "normalize_to",
+           "markdown_table"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -45,6 +46,33 @@ def format_table(rows: Sequence[Sequence], headers: Sequence[str],
         lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(columns: Sequence[str], rows: Sequence[Dict[str, object]],
+                   float_format: str = "{:.4g}") -> str:
+    """Render dict rows as a GitHub-flavored markdown table.
+
+    Cells are looked up per column (missing -> empty); floats use
+    ``float_format``; list cells render as JSON.  This is the renderer
+    behind :meth:`repro.report.Artifact.to_markdown`.
+    """
+    import json
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        if isinstance(value, list):
+            return json.dumps([
+                float(float_format.format(v)) if isinstance(v, float) else v
+                for v in value])
+        return "" if value is None else str(value)
+
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |",
+             "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(c)) for c in columns)
+                     + " |")
     return "\n".join(lines)
 
 

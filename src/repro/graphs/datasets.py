@@ -22,10 +22,14 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..paper_data import FIG5_HIDDEN_DENSITY, PAPER_AVERAGE_BITS
+from ..registry import DATASETS as DATASET_REGISTRY
+from ..registry import DatasetEntry
 from .generators import synthetic_graph
 from .graph import Graph
 
-__all__ = ["DatasetStats", "DATASETS", "paper_stats", "load_dataset", "sim_feature_stats"]
+__all__ = ["DatasetStats", "DATASETS", "ScenarioSpec", "SCENARIO_SPECS",
+           "paper_stats", "load_dataset", "sim_feature_stats"]
 
 
 @dataclass(frozen=True)
@@ -143,3 +147,127 @@ def _rescaled_density(stats: DatasetStats, feature_dim: int) -> float:
 
 def _name_seed(name: str) -> int:
     return sum(ord(c) for c in name)
+
+
+# ----------------------------------------------------------------------
+# Registry entries: the five paper graphs + parameterized scale scenarios
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters of one synthetic scale-sweep scenario.
+
+    Unlike the paper stand-ins (whose statistics are pinned to Table II),
+    scenarios are free knobs: node count, degree structure (power-law
+    exponent, hub cap) and community strength.  They run through exactly
+    the same :class:`~repro.eval.engine.SimJob` path as the paper graphs.
+    """
+
+    name: str
+    nodes: int
+    average_degree: float
+    feature_dim: int
+    num_classes: int
+    feature_density: float
+    homophily: float
+    exponent: float
+    max_degree: Optional[int] = None
+    # Simulator-workload defaults when no trained model supplies them.
+    hidden_density: float = 0.5
+    average_bits: float = 2.5
+
+
+def _scenario_loader(spec: ScenarioSpec):
+    def load(scale: str = "train", seed: int = 0) -> Graph:
+        if scale == "sim":
+            nodes, fdim = spec.nodes, min(spec.feature_dim, 512)
+        elif scale == "train":
+            nodes, fdim = min(spec.nodes, 4096), min(spec.feature_dim, 512)
+        elif scale == "tiny":
+            nodes, fdim = 256, 64
+        else:
+            raise ValueError(
+                f"unknown scale {scale!r}; use 'train', 'sim' or 'tiny'")
+        return synthetic_graph(
+            num_nodes=nodes,
+            num_edges=int(round(nodes * spec.average_degree)),
+            feature_dim=fdim,
+            num_classes=spec.num_classes,
+            feature_density=max(spec.feature_density, 4.0 / fdim),
+            homophily=spec.homophily,
+            exponent=spec.exponent,
+            max_degree=spec.max_degree,
+            train_fraction=0.1 if nodes < 50000 else 0.05,
+            name=f"{spec.name}-{scale}",
+            seed=seed + _name_seed(spec.name),
+        )
+    return load
+
+
+def _scenario_feature_stats(spec: ScenarioSpec):
+    def feature_stats(rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(_name_seed(spec.name))
+        mean_nnz = max(spec.feature_density * spec.feature_dim, 1.0)
+        spread = rng.lognormal(mean=0.0, sigma=0.6, size=spec.nodes)
+        nnz = np.clip(np.round(mean_nnz * spread), 1,
+                      spec.feature_dim).astype(np.int64)
+        return spec.feature_dim, nnz
+    return feature_stats
+
+
+def scenario_entry(spec: ScenarioSpec) -> DatasetEntry:
+    """Build (not register) a :class:`DatasetEntry` for ``spec`` — the
+    ~10-line path for user-defined scenarios shown in the README."""
+    return DatasetEntry(
+        name=spec.name,
+        loader=_scenario_loader(spec),
+        num_classes=spec.num_classes,
+        feature_stats=_scenario_feature_stats(spec),
+        hidden_density=lambda model: spec.hidden_density,
+        average_bits=lambda model: spec.average_bits,
+        description=(f"synthetic scenario: {spec.nodes} nodes, "
+                     f"avg degree {spec.average_degree:g}, "
+                     f"exponent {spec.exponent:g}, "
+                     f"homophily {spec.homophily:g}"),
+        # Any spec edit invalidates cached results built from it (the
+        # adjacency fingerprint alone misses feature/workload params).
+        version=repr(spec),
+    )
+
+
+def _paper_entry(stats: DatasetStats) -> DatasetEntry:
+    name = stats.name
+    return DatasetEntry(
+        name=name,
+        loader=lambda scale="train", seed=0: load_dataset(name, scale=scale,
+                                                          seed=seed),
+        num_classes=stats.num_classes,
+        feature_stats=lambda rng=None: sim_feature_stats(name, rng=rng),
+        hidden_density=lambda model: FIG5_HIDDEN_DENSITY[model][name],
+        average_bits=lambda model: PAPER_AVERAGE_BITS[model][name],
+        description=(f"paper dataset (Table II): {stats.nodes} nodes, "
+                     f"{stats.edges} edges, {stats.feature_dim}-d features"),
+    )
+
+
+# Power-law scenarios stress the hub tail (MEGA's degree-aware bit
+# allocation); community scenarios stress partition locality
+# (Condense-Edge).  10k-500k nodes, all through the same SimJob path.
+SCENARIO_SPECS: Dict[str, ScenarioSpec] = {}
+for _size, _label in ((10_000, "10k"), (50_000, "50k"),
+                      (100_000, "100k"), (500_000, "500k")):
+    for _spec in (
+        ScenarioSpec(name=f"powerlaw-{_label}", nodes=_size,
+                     average_degree=8.0, feature_dim=256, num_classes=16,
+                     feature_density=0.05, homophily=0.5, exponent=2.1),
+        ScenarioSpec(name=f"community-{_label}", nodes=_size,
+                     average_degree=12.0, feature_dim=256, num_classes=32,
+                     feature_density=0.05, homophily=0.85, exponent=2.6,
+                     max_degree=512),
+    ):
+        SCENARIO_SPECS[_spec.name] = _spec
+
+for _stats in DATASETS.values():
+    DATASET_REGISTRY.add(_stats.name, _paper_entry(_stats))
+for _spec in SCENARIO_SPECS.values():
+    DATASET_REGISTRY.add(_spec.name, scenario_entry(_spec))

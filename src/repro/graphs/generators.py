@@ -65,6 +65,7 @@ def community_graph(
     num_communities: int,
     homophily: float = 0.8,
     exponent: float = 2.2,
+    max_degree: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> Tuple[sp.csr_matrix, np.ndarray]:
     """Directed homophilous graph with power-law in-degrees.
@@ -80,7 +81,8 @@ def community_graph(
     """
     rng = rng or np.random.default_rng(0)
     average_degree = num_edges / num_nodes
-    in_deg = power_law_degrees(num_nodes, average_degree, exponent=exponent, rng=rng)
+    in_deg = power_law_degrees(num_nodes, average_degree, exponent=exponent,
+                               max_degree=max_degree, rng=rng)
 
     communities = np.sort(rng.integers(0, num_communities, size=num_nodes))
     # Bucket the members of each community for fast intra-community picks.
@@ -206,6 +208,7 @@ def synthetic_graph(
     signal: float = 0.7,
     label_noise: float = 0.05,
     train_fraction: float = 0.1,
+    max_degree: Optional[int] = None,
     name: str = "synthetic",
     seed: int = 0,
 ) -> Graph:
@@ -213,12 +216,14 @@ def synthetic_graph(
 
     ``label_noise`` flips a fraction of labels uniformly, keeping the
     achievable accuracy below a trivial ceiling (real citation tasks
-    top out around 70-95%).
+    top out around 70-95%).  ``max_degree`` caps the in-degree tail
+    (default: ``num_nodes**0.75``) — the scale-sweep scenarios bound
+    their hubs with it so a 500k-node graph stays partitionable.
     """
     rng = np.random.default_rng(seed)
     adjacency, communities = community_graph(
         num_nodes, num_edges, num_classes, homophily=homophily,
-        exponent=exponent, rng=rng,
+        exponent=exponent, max_degree=max_degree, rng=rng,
     )
     features = sparse_features(
         communities, feature_dim, feature_density, num_classes,

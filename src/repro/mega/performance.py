@@ -25,7 +25,9 @@ from typing import Optional
 import numpy as np
 
 from ..formats import AdaptivePackageFormat, BitmapFormat
+from ..paper_data import MEGA_TOTAL_POWER_MW
 from ..perf.cache import cached_partition
+from ..registry import ACCELERATORS, AcceleratorEntry
 from ..sim import DramModel, DramTraffic
 from ..sim.accelerator import AcceleratorModel, LayerCost
 from ..sim.locality import aggregation_locality_traffic
@@ -41,7 +43,7 @@ class MegaModel(AcceleratorModel):
 
     name = "mega"
     dram_overlap = 0.9
-    total_power_mw = 194.98
+    total_power_mw = MEGA_TOTAL_POWER_MW  # Table IV
 
     def __init__(self, config: Optional[MegaConfig] = None,
                  storage: str = "adaptive-package",
@@ -150,3 +152,34 @@ class MegaModel(AcceleratorModel):
         if self.storage == "adaptive-package":
             return AdaptivePackageFormat(self.config.package)
         return BitmapFormat()
+
+
+def _register_mega() -> None:
+    """Register MEGA plus its Fig. 19 ablation steps.
+
+    All entries share the :class:`MegaModel` factory with preset
+    keyword defaults; user variant kwargs (``SimJob`` variants) override
+    the preset, so ablation sweeps stay expressible either way.
+    """
+    entries = (
+        ("mega", (), "full MEGA: quantization + Adaptive-Package + "
+                     "Condense-Edge"),
+        # Fig. 19 step 1: degree-aware quantization stored in Bitmap.
+        ("mega-bitmap", (("storage", "bitmap"), ("condense", False)),
+         "ablation: quantization in Bitmap storage, no Condense-Edge"),
+        # Fig. 19 step 2: + Adaptive-Package (still no Condense-Edge).
+        ("mega-no-condense", (("condense", False),),
+         "ablation: Adaptive-Package storage, no Condense-Edge"),
+    )
+    for name, defaults, description in entries:
+        ACCELERATORS.add(name, AcceleratorEntry(
+            name=name,
+            factory=MegaModel,
+            precision="degree-aware",
+            description=description,
+            accepts_variants=True,
+            defaults=defaults,
+        ))
+
+
+_register_mega()

@@ -191,10 +191,24 @@ def train_multiple_seeds(
                 "extra_loss_factory requires the legacy callable form; "
                 "declarative flows attach their own losses")
         from ..eval.engine import TrainJob, get_engine
+        from ..registry import DATASETS
 
+        # ``name`` is either a registered dataset/scenario name (which
+        # may itself contain hyphens, e.g. "powerlaw-10k") or a loaded
+        # graph's "dataset-scale" name ("cora-train",
+        # "powerlaw-10k-sim") — try the full name first, then split the
+        # scale suffix off the right.
         name = graph if isinstance(graph, str) else graph.name
-        dataset, _, scale = name.partition("-")
-        scale = scale or "train"
+        if name.lower() in DATASETS:
+            dataset, scale = name, "train"
+        else:
+            head, _, tail = name.rpartition("-")
+            if head.lower() in DATASETS:
+                dataset, scale = head, tail
+            else:
+                # Unknown either way: keep the full name so the engine's
+                # registry lookup reports it with the available listing.
+                dataset, scale = name, "train"
         if not isinstance(graph, str):
             # The engine regenerates the dataset in its workers; make
             # sure that regeneration matches what the caller handed us

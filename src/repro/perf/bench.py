@@ -1,4 +1,7 @@
-"""Hot-kernel benchmark runner: ``python -m repro.perf.bench``.
+"""Hot-kernel benchmark runner: ``python -m repro bench``.
+
+(The module remains directly runnable as ``python -m repro.perf.bench``;
+the unified CLI forwards its ``bench`` subcommand here.)
 
 Times the vectorized hot kernels against the seed reference
 implementations on synthetic graphs of increasing size and writes the
@@ -507,7 +510,7 @@ def _print_summary(report: dict) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.perf.bench",
+        prog="python -m repro bench",
         description="Benchmark the vectorized hot kernels vs their seed "
                     "reference implementations.")
     parser.add_argument("--quick", action="store_true",

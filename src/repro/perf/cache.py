@@ -35,9 +35,9 @@ from typing import Callable, Dict, Optional, Tuple, TypeVar
 import numpy as np
 import scipy.sparse as sp
 
-from ..graphs.datasets import load_dataset
 from ..graphs.graph import Graph
 from ..graphs.partition import PartitionResult, partition_graph
+from ..registry import get_dataset
 
 __all__ = [
     "ContentCache",
@@ -184,11 +184,13 @@ def cached_sampled_normalized_adjacency(graph: Graph, max_neighbors: int,
 
 
 def cached_load_dataset(name: str, scale: str = "train", seed: int = 0) -> Graph:
-    """Memoized :func:`~repro.graphs.datasets.load_dataset` (synthetic
-    generation is deterministic in ``(name, scale, seed)``)."""
+    """Memoized dataset/scenario construction, resolved through the
+    dataset registry (synthetic generation is deterministic in
+    ``(name, scale, seed)``), so every registered scenario — paper
+    stand-in or scale-sweep synthetic — shares one cache."""
     key = (name.lower(), scale, seed)
     return DATASET_CACHE.get_or_compute(
-        key, lambda: load_dataset(name, scale=scale, seed=seed))
+        key, lambda: get_dataset(name).load(scale=scale, seed=seed))
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:

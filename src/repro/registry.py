@@ -1,0 +1,307 @@
+"""Decorator-based registries: the pluggable scenario layer.
+
+Every name the evaluation stack dispatches on — an accelerator, a
+dataset, a workload suite, an experiment — resolves through a
+:class:`Registry` here instead of an ``if name == ...`` chain inside an
+engine.  Subsystems self-register at import time (``repro.baselines``
+registers its presets, ``repro.mega`` the MEGA variants,
+``repro.graphs.datasets`` the paper graphs and the synthetic
+scale-sweep scenarios, ``repro.eval`` the experiment specs), so adding
+a scenario is a registration, never an engine edit:
+
+>>> from repro.registry import ACCELERATORS, AcceleratorEntry
+>>> @ACCELERATORS.register("my-accel", precision="fp32")
+... def build_my_accel(**kwargs):
+...     return MyAcceleratorModel(**kwargs)
+
+This module intentionally imports nothing from the rest of ``repro``;
+entries carry lazy factories, so registration order can never create an
+import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Callable, Dict, Generic, Iterator, Mapping, Optional,
+                    Tuple, TypeVar)
+
+__all__ = [
+    "RegistryError",
+    "Registry",
+    "AcceleratorEntry",
+    "DatasetEntry",
+    "SuiteEntry",
+    "ExperimentSpec",
+    "ACCELERATORS",
+    "DATASETS",
+    "SUITES",
+    "EXPERIMENTS",
+    "get_accelerator",
+    "get_dataset",
+    "get_suite",
+    "get_experiment",
+]
+
+E = TypeVar("E")
+
+
+class RegistryError(LookupError):
+    """Unknown or duplicate registry name (message lists what exists)."""
+
+
+class Registry(Generic[E]):
+    """A named string -> entry mapping with strict registration.
+
+    Duplicate registration raises (two subsystems silently fighting over
+    one name is always a bug); unknown lookups raise a
+    :class:`RegistryError` whose message lists every registered name, so
+    a typo on the CLI or in a spec is self-diagnosing.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, E] = {}
+
+    # -- registration ------------------------------------------------------
+    def add(self, name: str, entry: E) -> E:
+        key = name.lower()
+        if key in self._entries:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; "
+                f"unregister it first to replace it")
+        self._entries[key] = entry
+        return entry
+
+    def register(self, name: str, **metadata) -> Callable:
+        """Decorator form of :meth:`add`.
+
+        The decorated callable becomes the entry's factory/payload; how
+        ``metadata`` is interpreted is up to the registry's entry type
+        (see :meth:`_entry_from_callable`).
+        """
+        def decorate(obj: Callable) -> Callable:
+            self.add(name, self._entry_from_callable(name, obj, metadata))
+            return obj
+        return decorate
+
+    def _entry_from_callable(self, name: str, obj: Callable,
+                             metadata: Mapping) -> E:
+        if metadata:
+            raise TypeError(
+                f"{self.kind} registry takes no registration metadata; "
+                f"construct the entry and use .add()")
+        return obj  # type: ignore[return-value]
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name.lower(), None)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> E:
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def items(self) -> Tuple[Tuple[str, E], ...]:
+        return tuple(sorted(self._entries.items()))
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Accelerators
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AcceleratorEntry:
+    """One simulatable accelerator: a config factory plus metadata.
+
+    ``factory(**kwargs)`` must return an
+    :class:`~repro.sim.accelerator.AcceleratorModel`; ``defaults`` are
+    preset keyword arguments (how the Fig. 19 ablation variants reuse
+    the MEGA factory), and ``precision`` names the workload precision
+    the paper pairs with the design (what :class:`repro.eval.engine.
+    SimJob` feeds the workload builder).
+    """
+
+    name: str
+    factory: Callable[..., object]
+    precision: str = "fp32"
+    description: str = ""
+    accepts_variants: bool = False
+    defaults: Tuple[Tuple[str, object], ...] = ()
+    # Opaque version token mixed into the sweep engine's disk-cache
+    # keys.  Built-in entries leave it empty (the engine's source digest
+    # already covers repro's own code); runtime-registered entries
+    # should bump it whenever their factory's behavior changes, or
+    # stale simulation results will replay from the cache.
+    version: str = ""
+
+    @property
+    def cache_token(self) -> Tuple:
+        """Everything about this entry a cached result depends on."""
+        return (self.precision, self.defaults, self.version)
+
+    def build(self, **variant):
+        """Instantiate the model (variant kwargs override the preset)."""
+        if variant and not self.accepts_variants:
+            raise ValueError(
+                f"variant kwargs {sorted(variant)!r} not supported by "
+                f"accelerator {self.name!r} (fixed-configuration preset)")
+        kwargs = dict(self.defaults)
+        kwargs.update(variant)
+        return self.factory(**kwargs)
+
+
+class _AcceleratorRegistry(Registry[AcceleratorEntry]):
+    def _entry_from_callable(self, name, obj, metadata) -> AcceleratorEntry:
+        return AcceleratorEntry(name=name, factory=obj, **metadata)
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One loadable dataset/scenario plus the statistics the simulator
+    workload builder needs when it cannot derive them from a trained
+    model (paper-scale feature stats, Fig. 5 densities, Table VI
+    bitwidth targets — or synthetic defaults for generated scenarios).
+    """
+
+    name: str
+    loader: Callable[[str, int], object]          # (scale, seed) -> Graph
+    num_classes: int
+    # (rng) -> (paper-scale feature_dim, per-node nnz array at sim scale)
+    feature_stats: Callable[..., Tuple[int, object]]
+    # model name -> hidden feature-map density / degree-aware bit target
+    hidden_density: Callable[[str], float]
+    average_bits: Callable[[str], float]
+    description: str = ""
+    # Version token mixed into disk-cache keys (see AcceleratorEntry.
+    # version).  The graph's adjacency fingerprint does not cover
+    # features or workload statistics, so runtime-registered scenarios
+    # must change this when their generation parameters change
+    # (scenario_entry derives it from the ScenarioSpec automatically).
+    version: str = ""
+
+    @property
+    def cache_token(self) -> Tuple:
+        return (self.version,)
+
+    def load(self, scale: str = "train", seed: int = 0):
+        return self.loader(scale, seed)
+
+
+class _DatasetRegistry(Registry[DatasetEntry]):
+    def _entry_from_callable(self, name, obj, metadata) -> DatasetEntry:
+        return DatasetEntry(name=name, loader=obj, **metadata)
+
+
+# ----------------------------------------------------------------------
+# Workload suites
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A named tuple of (dataset, model) evaluation pairs."""
+
+    name: str
+    workloads: Tuple[Tuple[str, str], ...]
+    description: str = ""
+
+    @property
+    def datasets(self) -> Tuple[str, ...]:
+        """The suite's distinct datasets, first-appearance order."""
+        return tuple(dict.fromkeys(ds for ds, _ in self.workloads))
+
+
+class _SuiteRegistry(Registry[SuiteEntry]):
+    def _entry_from_callable(self, name, obj, metadata):
+        raise TypeError("register suites with .add(name, SuiteEntry(...))")
+
+
+# ----------------------------------------------------------------------
+# Experiments
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment: job batch builder + reducer.
+
+    ``build_jobs(**params)`` returns an ordered mapping of result key ->
+    :class:`~repro.eval.engine.SimJob` / ``TrainJob`` (empty for
+    experiments that compute directly through the engine's table cache);
+    ``reduce(results, **params)`` receives the resolved ``{key: report}``
+    mapping and produces the experiment's value — exactly what the
+    pre-registry runner functions returned, so the legacy names can shim
+    onto specs bit-identically.  :func:`repro.report.run_experiment`
+    wraps the pair into a schema'd :class:`~repro.report.Artifact`.
+    """
+
+    name: str
+    description: str
+    build_jobs: Callable[..., Mapping]
+    reduce: Callable[..., object]
+    defaults: Tuple[Tuple[str, object], ...] = ()
+    # Name of the parameter a workload suite maps onto (None = the
+    # experiment is not suite-parameterized), and whether it receives
+    # the suite's (dataset, model) pairs or just its distinct datasets.
+    suite_param: Optional[str] = None
+    suite_kind: str = "pairs"                     # "pairs" | "datasets"
+    # Included in the CLI's default smoke run (`repro run` with no
+    # experiment name)?  Keep False for training-backed experiments.
+    smoke: bool = False
+
+    def params_with_defaults(self, params: Mapping) -> Dict[str, object]:
+        merged = dict(self.defaults)
+        merged.update(params)
+        return merged
+
+    def suite_params(self, suite: SuiteEntry) -> Dict[str, object]:
+        if self.suite_param is None:
+            raise RegistryError(
+                f"experiment {self.name!r} is not suite-parameterized")
+        value: object = (suite.workloads if self.suite_kind == "pairs"
+                         else suite.datasets)
+        return {self.suite_param: value}
+
+
+class _ExperimentRegistry(Registry[ExperimentSpec]):
+    def _entry_from_callable(self, name, obj, metadata):
+        raise TypeError("register experiments with .add(name, ExperimentSpec(...))")
+
+
+ACCELERATORS: _AcceleratorRegistry = _AcceleratorRegistry("accelerator")
+DATASETS: _DatasetRegistry = _DatasetRegistry("dataset")
+SUITES: _SuiteRegistry = _SuiteRegistry("suite")
+EXPERIMENTS: _ExperimentRegistry = _ExperimentRegistry("experiment")
+
+
+def get_accelerator(name: str) -> AcceleratorEntry:
+    return ACCELERATORS.get(name)
+
+
+def get_dataset(name: str) -> DatasetEntry:
+    return DATASETS.get(name)
+
+
+def get_suite(name: str) -> SuiteEntry:
+    return SUITES.get(name)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    return EXPERIMENTS.get(name)

@@ -55,6 +55,9 @@ class SimReport:
     traffic: DramTraffic
     energy: EnergyBreakdown
     layer_costs: List[LayerCost] = field(default_factory=list)
+    # Core clock the cycle counts were produced at (default matches the
+    # paper's 1 GHz, so pre-existing reports are unchanged).
+    clock_ghz: float = 1.0
 
     @property
     def dram_mb(self) -> float:
@@ -66,7 +69,7 @@ class SimReport:
 
     @property
     def seconds(self) -> float:
-        return self.total_cycles / 1e9  # 1 GHz
+        return self.total_cycles / (self.clock_ghz * 1e9)
 
     def speedup_over(self, other: "SimReport") -> float:
         return other.total_cycles / max(self.total_cycles, 1e-9)
@@ -91,10 +94,16 @@ class AcceleratorModel:
 
     def __init__(self, buffers: BufferSet,
                  dram: Optional[DramModel] = None,
-                 energy: EnergyConstants = DEFAULT_ENERGY) -> None:
+                 energy: EnergyConstants = DEFAULT_ENERGY,
+                 clock_ghz: Optional[float] = None) -> None:
         self.buffers = buffers
         self.dram = dram or DramModel(energy=energy)
         self.energy = energy
+        # Core clock (GHz).  Defaults to the DRAM config's core
+        # frequency (1.0, the paper's setting) so cycle counts and the
+        # DRAM cycles-per-byte conversion stay on one clock.
+        self.clock_ghz = (float(clock_ghz) if clock_ghz is not None
+                          else self.dram.config.core_frequency_ghz)
 
     # -- subclass interface ------------------------------------------------
     def layer_cost(self, workload: Workload, layer_index: int) -> LayerCost:
@@ -119,7 +128,7 @@ class AcceleratorModel:
         sram_bytes = sum(c.sram_bytes_moved for c in layer_costs)
         sram_pj = self.buffers.access_energy_pj(sram_bytes * 0.5, sram_bytes * 0.5)
         pu_pj = sum(c.pu_energy_pj for c in layer_costs)
-        seconds = total / (self.dram.config.core_frequency_ghz * 1e9)
+        seconds = total / (self.clock_ghz * 1e9)
         leakage_pj = self.total_power_mw * self.leakage_fraction * seconds * 1e9
 
         return SimReport(
@@ -132,6 +141,7 @@ class AcceleratorModel:
             traffic=traffic,
             energy=EnergyBreakdown(dram_pj, sram_pj, pu_pj, leakage_pj),
             layer_costs=layer_costs,
+            clock_ghz=self.clock_ghz,
         )
 
     # -- shared helpers ------------------------------------------------------

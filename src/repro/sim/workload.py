@@ -16,8 +16,12 @@ from typing import Dict, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..graphs import Graph, load_dataset, paper_stats, sim_feature_stats
+from ..graphs import Graph
+# Paper constants live in repro.paper_data (re-exported here because
+# they predate it and are part of this module's public API).
+from ..paper_data import FIG5_HIDDEN_DENSITY, PAPER_AVERAGE_BITS
 from ..nn.models import MODEL_SPECS
+from ..registry import get_dataset
 
 __all__ = [
     "LayerSpec",
@@ -28,22 +32,6 @@ __all__ = [
     "FIG5_HIDDEN_DENSITY",
     "PAPER_AVERAGE_BITS",
 ]
-
-# Paper Fig. 5: density of the node-feature maps per (model, dataset).
-FIG5_HIDDEN_DENSITY: Dict[str, Dict[str, float]] = {
-    "gcn": {"cora": 0.44, "citeseer": 0.55, "pubmed": 0.41, "nell": 0.12, "reddit": 0.54},
-    "gin": {"cora": 0.63, "citeseer": 0.79, "pubmed": 0.84, "nell": 0.33, "reddit": 0.19},
-    "graphsage": {"cora": 0.79, "citeseer": 0.88, "pubmed": 0.71, "nell": 0.56, "reddit": 0.51},
-    "gat": {"cora": 0.50, "citeseer": 0.60, "pubmed": 0.50, "nell": 0.20, "reddit": 0.50},
-}
-
-# Paper Table VI: average feature bitwidths achieved by Degree-Aware.
-PAPER_AVERAGE_BITS: Dict[str, Dict[str, float]] = {
-    "gcn": {"cora": 1.70, "citeseer": 1.87, "pubmed": 2.50, "nell": 2.2, "reddit": 2.5},
-    "gin": {"cora": 2.37, "citeseer": 2.54, "pubmed": 2.6, "nell": 2.6, "reddit": 2.8},
-    "graphsage": {"cora": 3.40, "citeseer": 3.2, "pubmed": 3.0, "nell": 3.0, "reddit": 2.74},
-    "gat": {"cora": 2.5, "citeseer": 1.94, "pubmed": 2.5, "nell": 2.5, "reddit": 2.7},
-}
 
 
 @dataclass
@@ -155,14 +143,18 @@ def build_workload(
         ``"degree-aware"`` (mixed, synthesized per-degree), ``"int8"``
         (uniform 8-bit, for the 8-bit baseline variants), or ``"fp32"``.
     graph:
-        Optional pre-built graph (defaults to ``load_dataset(name,
-        scale="sim")``).
+        Optional pre-built graph (defaults to the registered dataset's
+        ``scale="sim"`` graph).
+
+    ``dataset`` resolves through the dataset registry, so any registered
+    scenario — a paper stand-in or a synthetic scale-sweep graph — feeds
+    the same simulators.
     """
     model_key = model_name.lower()
-    stats = paper_stats(dataset)
+    entry = get_dataset(dataset)
     spec = MODEL_SPECS[model_key]
     if graph is None:
-        graph = load_dataset(dataset, scale="sim", seed=seed)
+        graph = entry.load(scale="sim", seed=seed)
     rng = np.random.default_rng(seed + 17)
 
     adjacency = graph.adjacency
@@ -173,11 +165,11 @@ def build_workload(
     degrees = np.asarray(adjacency.astype(bool).sum(axis=1)).reshape(-1)
 
     # Input layer: paper-scale feature length + per-node sparsity.
-    feature_dim, input_nnz = sim_feature_stats(dataset, rng=rng)
+    feature_dim, input_nnz = entry.feature_stats(rng=rng)
     input_nnz = input_nnz[:n] if len(input_nnz) >= n else np.resize(input_nnz, n)
 
     hidden = spec["hidden"]
-    hidden_density = FIG5_HIDDEN_DENSITY[model_key][stats.name]
+    hidden_density = entry.hidden_density(model_key)
     spread = rng.lognormal(0.0, 0.25, size=n)
     hidden_nnz = np.clip(
         np.round(hidden * hidden_density * spread), 1, hidden
@@ -190,7 +182,7 @@ def build_workload(
         bits0 = np.full(n, 8, dtype=np.int64)
         bits1 = np.full(n, 8, dtype=np.int64)
     elif precision == "degree-aware":
-        target = target_average_bits or PAPER_AVERAGE_BITS[model_key][stats.name]
+        target = target_average_bits or entry.average_bits(model_key)
         # The Degree-Aware floor is 2 bits (Sec. V-C), so paper averages
         # below ~2.4 would degenerate to an all-2-bit allocation with no
         # high-precision tail; keep the tail the trained quantizer shows.
@@ -203,12 +195,12 @@ def build_workload(
     weight_bits = 32 if precision == "fp32" else (8 if precision.endswith("int8") else 4)
     layers = [
         LayerSpec(feature_dim, hidden, input_nnz, bits0, weight_bits=weight_bits),
-        LayerSpec(hidden, stats.num_classes, hidden_nnz, bits1, weight_bits=weight_bits),
+        LayerSpec(hidden, entry.num_classes, hidden_nnz, bits1, weight_bits=weight_bits),
     ]
     return Workload(
-        name=f"{stats.name}-{model_key}-{precision}",
+        name=f"{entry.name}-{model_key}-{precision}",
         model_name=model_key,
-        dataset=stats.name,
+        dataset=entry.name,
         adjacency=adjacency.tocsr(),
         layers=layers,
         precision=precision,

@@ -1,0 +1,111 @@
+"""The unified ``python -m repro`` CLI (in-process via ``cli.main``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report import validate_artifact_dict
+
+
+class TestList:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("accelerators", "datasets", "suites", "experiments"):
+            assert section in out
+        assert "mega" in out and "powerlaw-10k" in out
+        assert "speedup_table" in out
+
+    def test_list_one_section(self, capsys):
+        assert main(["list", "accelerators"]) == 0
+        out = capsys.readouterr().out
+        assert "mega" in out
+        assert "speedup_table" not in out
+
+
+class TestRun:
+    def test_run_speedup_table_quick_suite(self, sweep_engine, capsys,
+                                           tmp_path):
+        """The ISSUE's smoke line: repro run speedup_table --suite quick."""
+        rc = main(["run", "speedup_table", "--suite", "quick",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup_table" in out and "geomean" in out
+        data = json.loads((tmp_path / "speedup_table.json").read_text())
+        validate_artifact_dict(data)
+        # Quick suite = 5 workloads + the geomean row.
+        assert len(data["rows"]) == 6
+        # Every speedup vs MEGA is > 1 (the paper's headline result).
+        for row in data["rows"]:
+            for col, value in row.items():
+                if col != "row":
+                    assert value > 1.0, (row["row"], col)
+
+    def test_run_scale_sweep_scenario(self, sweep_engine, capsys, tmp_path):
+        """A synthetic scenario suite runs end-to-end through the CLI."""
+        rc = main(["run", "stall_table", "--suite", "scale-sweep",
+                   "--out", str(tmp_path), "--quiet"])
+        assert rc == 0
+        data = json.loads((tmp_path / "stall_table.json").read_text())
+        validate_artifact_dict(data)
+        rows = {row["row"] for row in data["rows"]}
+        assert "powerlaw-10k" in rows
+
+    def test_run_smoke_set_without_experiment(self, sweep_engine, capsys,
+                                              tmp_path):
+        rc = main(["run", "--suite", "smoke", "--quiet",
+                   "--out", str(tmp_path), "--formats", "json,md"])
+        assert rc == 0
+        written = list(tmp_path.glob("*.json"))
+        assert len(written) >= 5  # every smoke-flagged experiment
+        for path in written:
+            validate_artifact_dict(json.loads(path.read_text()))
+        assert len(list(tmp_path.glob("*.md"))) == len(written)
+
+    def test_warm_rerun_executes_zero_jobs(self, sweep_engine, capsys):
+        assert main(["run", "stall_table", "--quiet"]) == 0
+        executed_cold = sweep_engine.executed_jobs
+        assert executed_cold > 0
+        assert main(["run", "stall_table", "--quiet"]) == 0
+        assert sweep_engine.executed_jobs == executed_cold
+
+    def test_bad_formats_fail_before_running(self, sweep_engine, capsys,
+                                             tmp_path):
+        rc = main(["run", "stall_table", "--out", str(tmp_path),
+                   "--formats", "json,cvs"])
+        assert rc == 2
+        assert "unknown --formats" in capsys.readouterr().err
+        assert sweep_engine.executed_jobs == 0  # nothing ran
+        assert not list(tmp_path.iterdir())
+
+    def test_unknown_experiment_fails_before_running(self, sweep_engine,
+                                                     capsys):
+        rc = main(["run", "stall_table", "no_such_experiment"])
+        assert rc == 2
+        assert sweep_engine.executed_jobs == 0  # typo caught up front
+
+    def test_unknown_experiment_lists_available(self, capsys):
+        rc = main(["run", "no_such_experiment"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "speedup_table" in err
+
+    def test_unknown_suite_lists_available(self, capsys):
+        rc = main(["run", "speedup_table", "--suite", "no-such-suite"])
+        assert rc == 2
+        assert "quick" in capsys.readouterr().err
+
+    def test_suite_on_non_suite_experiment_errors(self, capsys):
+        rc = main(["run", "ablation_fig19", "--suite", "quick"])
+        assert rc == 2
+        assert "not suite-parameterized" in capsys.readouterr().err
+
+
+class TestBenchForwarding:
+    def test_bench_help_forwards(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--help"])
+        assert exc.value.code == 0
+        assert "Benchmark" in capsys.readouterr().out
