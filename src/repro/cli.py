@@ -17,7 +17,13 @@ Examples::
     python -m repro list accelerators
     python -m repro run speedup_table --suite quick --out artifacts
     python -m repro run --suite scale-sweep --workers 4
+    python -m repro run stall_table --suite scale-sweep-10k
     python -m repro bench --quick
+
+Scale-scenario sweeps resolve through the same cached engine as every
+other suite: a warm rerun (same ``REPRO_CACHE_DIR``, same code version)
+executes zero jobs, and scenarios of 100k+ nodes fan out per job across
+the worker pool (``REPRO_CHUNK_SPLIT_NODES``).
 """
 
 from __future__ import annotations

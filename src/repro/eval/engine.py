@@ -44,7 +44,10 @@ Environment knobs:
 - ``REPRO_SWEEP_WORKERS`` — default worker count for engines that are
   not given one explicitly (``0``/``1`` = serial, the default);
 - ``REPRO_CACHE_DIR`` — root of the on-disk store (default
-  ``~/.cache/repro``).
+  ``~/.cache/repro``);
+- ``REPRO_CHUNK_SPLIT_NODES`` — scenario size (sim-scale nodes, default
+  100000) at which per-dataset simulation chunks split into per-job
+  chunks so a single huge scenario still fans out across the pool.
 """
 
 from __future__ import annotations
@@ -221,15 +224,39 @@ def _execute_chunk(jobs: Sequence) -> List:
     return [_execute_job(job) for job in jobs]
 
 
+# Simulation jobs over datasets at least this large chunk per job
+# instead of per dataset: one 500k-node scenario's simulations then fan
+# out across the pool instead of serializing inside a single worker.
+_DEFAULT_CHUNK_SPLIT_NODES = 100_000
+
+
+def _chunk_split_nodes() -> int:
+    try:
+        return int(os.environ.get("REPRO_CHUNK_SPLIT_NODES",
+                                  _DEFAULT_CHUNK_SPLIT_NODES))
+    except ValueError:
+        return _DEFAULT_CHUNK_SPLIT_NODES
+
+
 def _chunk_key(job):
     """Pool chunking granularity.
 
     Simulation jobs group per (dataset, seed) so one worker amortizes
-    dataset/workload construction across accelerators; training jobs are
-    each their own chunk — a single training run is the expensive unit
-    and the (case × flow × seed) grid is the axis worth parallelizing.
+    dataset/workload construction across accelerators — except on huge
+    scenarios (the dataset entry's ``size_hint`` at or above
+    ``REPRO_CHUNK_SPLIT_NODES``, default 100k nodes), where each job is
+    its own chunk: per-job simulation cost dwarfs the amortized
+    construction there, and the shared disk caches (dataset, workload,
+    partition) already keep the workers from repeating it.  Training
+    jobs are each their own chunk — a single training run is the
+    expensive unit and the (case × flow × seed) grid is the axis worth
+    parallelizing.
     """
     if isinstance(job, TrainJob):
+        return job
+    from ..registry import get_dataset
+
+    if get_dataset(job.dataset).size_hint >= _chunk_split_nodes():
         return job
     return (job.dataset, job.seed)
 

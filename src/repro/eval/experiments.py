@@ -85,6 +85,10 @@ SUITES.add("smoke", SuiteEntry(
 SUITES.add("scale-sweep", SuiteEntry(
     "scale-sweep", SCALE_SWEEP_WORKLOADS,
     "synthetic power-law/community scenarios at 10k-50k nodes"))
+SUITES.add("scale-sweep-10k", SuiteEntry(
+    "scale-sweep-10k",
+    (("powerlaw-10k", "gcn"), ("community-10k", "gcn")),
+    "the 10k-node scale scenarios only (CI-sized scale smoke run)"))
 
 
 def _sim_graph(dataset: str):

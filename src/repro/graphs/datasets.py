@@ -232,6 +232,7 @@ def scenario_entry(spec: ScenarioSpec) -> DatasetEntry:
         # Any spec edit invalidates cached results built from it (the
         # adjacency fingerprint alone misses feature/workload params).
         version=repr(spec),
+        size_hint=spec.nodes,
     )
 
 
@@ -247,6 +248,7 @@ def _paper_entry(stats: DatasetStats) -> DatasetEntry:
         average_bits=lambda model: PAPER_AVERAGE_BITS[model][name],
         description=(f"paper dataset (Table II): {stats.nodes} nodes, "
                      f"{stats.edges} edges, {stats.feature_dim}-d features"),
+        size_hint=_SCALES[name][2],
     )
 
 

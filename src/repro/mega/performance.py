@@ -74,17 +74,15 @@ class MegaModel(AcceleratorModel):
         bit_serial_cycles = float((lane_groups * bits).sum()) * column_passes
 
         fmt = self._format()
+        report = fmt.measure(layer.input_nnz, bits, layer.in_dim)
         if self.storage == "adaptive-package":
-            report = fmt.measure(layer.input_nnz, bits, layer.in_dim)
             num_packages = report.breakdown["num_packages"]
         else:
-            report = fmt.measure(layer.input_nnz, bits, layer.in_dim)
             # Bitmap streams fixed-width values: decoder work scales with
             # the max bitwidth, not each node's own (Fig. 19 ablation).
             max_bits = int(bits.max()) if len(bits) else 0
             bit_serial_cycles = float((lane_groups * max_bits).sum()) * column_passes
-            num_packages = math.ceil(report.total_bits /
-                                     (cfg.package.long - 0))
+            num_packages = math.ceil(report.total_bits / cfg.package.long)
         decode_cycles = num_packages / cfg.combination_tiles
         combination_cycles = max(bit_serial_cycles, decode_cycles)
 

@@ -14,18 +14,23 @@ trajectory.  Kernels covered:
   isolate the streaming loop itself);
 - ``sample_neighbors`` — vectorized vs per-node sampling;
 - ``csr_decode`` — vectorized vs per-row CSR decode;
-- ``partition_graph`` — cold vs content-cache-hit timings of
-  :func:`repro.perf.cached_partition`.
+- ``partition_graph`` — the vectorized multilevel partitioner vs the
+  seed loop implementation preserved in :mod:`repro.perf.reference`,
+  timed at the scale-scenario operating points (10k/100k/500k nodes at
+  the subgraph counts ``choose_num_parts`` yields there), with balance
+  and edge-cut parity asserted.
 
-On top of the kernels, the runner times two end-to-end sweeps through
+On top of the kernels, the runner times three end-to-end sweeps through
 :class:`repro.eval.engine.SweepEngine`: a ``full_sweep`` over one
-(workload × accelerator) simulation grid and an ``accuracy_sweep`` over
-a (case × flow × seed) training grid — each cold and serial, again warm
-from the on-disk cache, and again cold through the process pool.  CI
-asserts the warm-cache replays against both (they must execute zero
-jobs / train zero models).  A ``train_epoch`` entry times the training
-hot loop (in-place optimizers, shared eval forward) against the seed
-loop preserved in :mod:`repro.perf.reference`, asserting bit-identical
+(workload × accelerator) simulation grid, an ``accuracy_sweep`` over a
+(case × flow × seed) training grid, and a ``scale_sweep`` over the
+synthetic scale scenarios (whose oversized per-dataset chunks split per
+job across the pool) — each cold and serial, again warm from the
+on-disk cache, and again cold through the process pool.  CI asserts
+the warm-cache replays against all three (they must execute zero jobs /
+train zero models).  A ``train_epoch`` entry times the training hot
+loop (in-place optimizers, shared eval forward) against the seed loop
+preserved in :mod:`repro.perf.reference`, asserting bit-identical
 accuracies.
 
 ``--quick`` restricts the sweep to the small size (used by CI smoke
@@ -49,17 +54,19 @@ import scipy
 
 from ..formats import AdaptivePackageFormat, CsrFormat
 from ..graphs import sample_adjacency, synthetic_graph
+from ..graphs.partition import partition_graph
 from ..mega import CondenseUnit
-from .cache import PARTITION_CACHE, cached_partition, clear_all_caches
+from .cache import cached_load_dataset, cached_partition, clear_all_caches
 from .reference import (
     CondenseUnitReference,
     csr_decode_reference,
     encode_adaptive_package_reference,
+    partition_graph_reference,
     sample_neighbors_reference,
 )
 from .timers import Timer, time_callable
 
-__all__ = ["BENCH_SIZES", "run_benchmarks", "main"]
+__all__ = ["BENCH_SIZES", "PARTITION_SIZES", "run_benchmarks", "main"]
 
 # name -> (num_nodes, num_edges, feature_dim, num_parts)
 BENCH_SIZES: Dict[str, tuple] = {
@@ -67,6 +74,19 @@ BENCH_SIZES: Dict[str, tuple] = {
     "small": (2_000, 10_000, 64, 8),
     "medium": (10_000, 100_000, 64, 24),
     "large": (50_000, 500_000, 64, 64),
+}
+
+# The partitioner is benchmarked at the scale-scenario operating points:
+# registered scenario datasets at simulation scale, partitioned into the
+# subgraph counts ``choose_num_parts`` yields there (128 KiB aggregation
+# buffer; 256-d hidden layers for small/medium, 64-d at 500k so the
+# seed reference's dense n x k link matrix stays materializable).
+# name -> (scenario dataset, num_parts)
+PARTITION_SIZES: Dict[str, tuple] = {
+    "tiny": ("powerlaw-10k", 10),
+    "small": ("powerlaw-10k", 40),
+    "medium": ("community-100k", 391),
+    "large": ("powerlaw-500k", 489),
 }
 
 _FEATURE_DENSITY = 0.3
@@ -160,15 +180,49 @@ def _bench_csr_decode(values, bits, repeats: int, check: bool) -> dict:
             "speedup": _speedup(ref.elapsed, fast.best_s)}
 
 
-def _bench_partition(graph, num_parts: int) -> dict:
-    PARTITION_CACHE.clear()
-    with Timer() as cold:
-        cached_partition(graph.adjacency, num_parts, refine_passes=1)
-    with Timer() as warm:
-        cached_partition(graph.adjacency, num_parts, refine_passes=1)
-    return {"cold_s": cold.elapsed, "warm_s": warm.elapsed,
-            "speedup": _speedup(cold.elapsed, warm.elapsed),
-            "cache": PARTITION_CACHE.stats()}
+def _bench_partition(size: str, repeats: int, check: bool) -> dict:
+    """Vectorized partitioner vs the preserved seed loops at one
+    scale-scenario operating point.
+
+    The vectorized side is timed best-of-``repeats`` (single repeat at
+    the 500k size — one run is seconds); the reference runs once (it is
+    the slow side by construction).  ``check`` asserts seed determinism,
+    the balance guarantee, and edge-cut parity within 15% of the seed
+    implementation (the property-test tolerance).
+    """
+    dataset, num_parts = PARTITION_SIZES[size]
+    adjacency = cached_load_dataset(dataset, scale="sim").adjacency
+    runs = max(1 if adjacency.shape[0] >= 400_000 else repeats, 1)
+    results, times = [], []
+    for _ in range(runs):
+        with Timer() as t:
+            results.append(partition_graph(adjacency, num_parts))
+        times.append(t.elapsed)
+    new = results[0]
+    with Timer() as ref_t:
+        ref = partition_graph_reference(adjacency, num_parts)
+    if check:
+        assert all(np.array_equal(r.parts, new.parts) for r in results), \
+            "partition_graph must be deterministic per seed"
+        assert new.balance <= 1.1 + 1e-9 or \
+            new.balance <= np.ceil(adjacency.shape[0] / num_parts) / \
+            (adjacency.shape[0] / num_parts) + 1e-9, new.balance
+        assert new.edge_cut <= ref.edge_cut * 1.15, \
+            f"edge cut {new.edge_cut} vs reference {ref.edge_cut}"
+    return {
+        "dataset": dataset,
+        "nodes": int(adjacency.shape[0]),
+        "edges": int(adjacency.nnz),
+        "num_parts": num_parts,
+        "fast": {"best_s": min(times),
+                 "mean_s": sum(times) / len(times), "repeats": runs},
+        "reference_s": ref_t.elapsed,
+        "edge_cut": new.edge_cut,
+        "reference_edge_cut": ref.edge_cut,
+        "balance": new.balance,
+        "reference_balance": ref.balance,
+        "speedup": _speedup(ref_t.elapsed, min(times)),
+    }
 
 
 # (workload × accelerator) grids for the end-to-end sweep benchmark.
@@ -268,6 +322,93 @@ def _bench_full_sweep(quick: bool, workers: Optional[int] = None) -> dict:
         "executed_warm_jobs": executed_warm,
         "warm_speedup": _speedup(cold_serial_s, warm.elapsed),
         "parallel_speedup": _speedup(cold_serial_s, cold_parallel_s),
+    }
+
+
+# (datasets, accelerators) grids for the scale-scenario sweep benchmark.
+SCALE_SWEEP_GRIDS: Dict[str, tuple] = {
+    "quick": (("powerlaw-10k", "community-10k"), ("mega", "gcnax")),
+    "full": (("powerlaw-10k", "community-10k", "powerlaw-100k"),
+             ("mega", "gcnax")),
+}
+
+
+def _bench_scale_sweep(quick: bool, workers: Optional[int] = None) -> dict:
+    """Cold-serial vs warm-disk vs cold-parallel scale-scenario sweep.
+
+    Mirrors :func:`_bench_full_sweep` over the registered synthetic
+    scale scenarios: the warm phase replays the serial phase's on-disk
+    store (temp dir, never the user's real cache) and must execute zero
+    jobs; the parallel phase gets its own empty store so it is a
+    genuinely cold run.  Scenario simulations are seconds-long, so one
+    attempt per phase is representative.  ``split_chunks`` reports how
+    many pool chunks the batch fans out into — scenarios at or above
+    the ``REPRO_CHUNK_SPLIT_NODES`` threshold chunk per job instead of
+    per dataset.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..eval.engine import (SimJob, SweepEngine, _chunk_key,
+                               temporary_cache_dir)
+
+    datasets, accelerators = SCALE_SWEEP_GRIDS["quick" if quick else "full"]
+    jobs = [SimJob.from_call(name, dataset, "gcn")
+            for dataset in datasets for name in accelerators]
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+
+    # Each phase pins REPRO_CACHE_DIR inside the temp dir: the scale
+    # scenarios are large enough that cached_partition persists to the
+    # *environment* cache dir, which must neither leak into the user's
+    # real cache nor pre-warm the other cold phase.
+    with tempfile.TemporaryDirectory(prefix="repro-scale-bench-") as tmp:
+        with temporary_cache_dir(Path(tmp) / "serial-env"):
+            clear_all_caches()
+            serial = SweepEngine(workers=0, cache_dir=Path(tmp) / "serial")
+            serial.clear_memory()  # the workload memo is module-level
+            with Timer() as cold:
+                cold_reports = serial.run(jobs)
+            executed_cold = serial.executed_jobs
+
+            serial.clear_memory()
+            clear_all_caches()
+            with Timer() as warm:
+                warm_reports = serial.run(jobs)
+            executed_warm = serial.executed_jobs
+            assert all(warm_reports[j] == cold_reports[j] for j in jobs), \
+                "warm-cache scale sweep must replay identical reports"
+
+        with temporary_cache_dir(Path(tmp) / "par-env"):
+            clear_all_caches()
+            parallel = SweepEngine(workers=workers, cache_dir=Path(tmp) / "par")
+            parallel.clear_memory()
+            with Timer() as par:
+                par_reports = parallel.run(jobs)
+            pool_used = parallel.pool_used
+            assert all(par_reports[j] == cold_reports[j] for j in jobs), \
+                "parallel scale sweep must match the serial results"
+    clear_all_caches()
+
+    return {
+        "jobs": len(jobs),
+        "datasets": list(datasets),
+        "accelerators": list(accelerators),
+        "workers": workers,
+        # How many pool chunks the batch splits into (oversized
+        # scenarios chunk per job, small ones per dataset).
+        "split_chunks": len({_chunk_key(job) for job in jobs}),
+        # Reported by the engine, not the request: False means the
+        # 'parallel' phase actually ran the serial path (single CPU or
+        # pool-creation fallback).
+        "pool_used": pool_used,
+        "cold_serial_s": cold.elapsed,
+        "warm_s": warm.elapsed,
+        "cold_parallel_s": par.elapsed,
+        "executed_cold_jobs": executed_cold,
+        "executed_warm_jobs": executed_warm,
+        "warm_speedup": _speedup(cold.elapsed, warm.elapsed),
+        "parallel_speedup": _speedup(cold.elapsed, par.elapsed),
     }
 
 
@@ -426,7 +567,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v3",
+        "schema": "repro.perf.bench/v4",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -435,6 +576,8 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
         },
         "sizes": {s: dict(zip(("nodes", "edges", "feature_dim", "num_parts"),
                               BENCH_SIZES[s])) for s in sizes},
+        "partition_sizes": {s: dict(zip(("dataset", "num_parts"),
+                                        PARTITION_SIZES[s])) for s in sizes},
         "kernels": {},
     }
     kernels: Dict[str, Dict[str, dict]] = {
@@ -453,9 +596,12 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
             graph, repeats, check)
         kernels["csr_decode"][size] = _bench_csr_decode(
             values, bits, repeats, check)
-        kernels["partition_graph"][size] = _bench_partition(graph, num_parts)
+        kernels["partition_graph"][size] = _bench_partition(
+            size, repeats, check)
     report["kernels"] = kernels
     report["full_sweep"] = _bench_full_sweep(quick_sweep, workers=sweep_workers)
+    report["scale_sweep"] = _bench_scale_sweep(quick_sweep,
+                                               workers=sweep_workers)
     report["train_epoch"] = _bench_train_epoch(quick_sweep)
     report["accuracy_sweep"] = _bench_accuracy_sweep(quick_sweep,
                                                      workers=sweep_workers)
@@ -466,10 +612,7 @@ def _print_summary(report: dict) -> None:
     print(f"{'kernel':<26} {'size':<8} {'fast':>10} {'reference':>10} {'speedup':>8}")
     for kernel, per_size in report["kernels"].items():
         for size, row in per_size.items():
-            if "fast" in row:
-                fast, ref = row["fast"]["best_s"], row["reference_s"]
-            else:  # partition: cold vs cached
-                fast, ref = row["warm_s"], row["cold_s"]
+            fast, ref = row["fast"]["best_s"], row["reference_s"]
             print(f"{kernel:<26} {size:<8} {fast * 1e3:>8.2f}ms "
                   f"{ref * 1e3:>8.2f}ms {row['speedup']:>7.1f}x")
     sweep = report.get("full_sweep")
@@ -484,6 +627,19 @@ def _print_summary(report: dict) -> None:
         pool_note = "" if sweep["pool_used"] else ", pool not used: serial path"
         print(f"  cold parallel {sweep['cold_parallel_s'] * 1e3:>9.1f}ms "
               f"({sweep['workers']} workers, {sweep['parallel_speedup']:.2f}x"
+              f"{pool_note})")
+    scale = report.get("scale_sweep")
+    if scale:
+        print(f"\nscale_sweep: {scale['jobs']} jobs over "
+              f"{', '.join(scale['datasets'])} ({scale['split_chunks']} pool chunks)")
+        print(f"  cold serial   {scale['cold_serial_s']:>9.2f}s "
+              f"({scale['executed_cold_jobs']} jobs executed)")
+        print(f"  warm (disk)   {scale['warm_s'] * 1e3:>9.1f}ms "
+              f"({scale['executed_warm_jobs']} jobs executed, "
+              f"{scale['warm_speedup']:.1f}x)")
+        pool_note = "" if scale["pool_used"] else ", pool not used: serial path"
+        print(f"  cold parallel {scale['cold_parallel_s']:>9.2f}s "
+              f"({scale['workers']} workers, {scale['parallel_speedup']:.2f}x"
               f"{pool_note})")
     epoch = report.get("train_epoch")
     if epoch:

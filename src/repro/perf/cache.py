@@ -139,6 +139,28 @@ def graph_fingerprint(adjacency: sp.spmatrix) -> str:
     return digest
 
 
+# Partitions of graphs at least this many edges also persist to the
+# code-versioned on-disk store: at scale-scenario sizes a partition is
+# seconds of work shared by every layer, variant and pool worker, while
+# small graphs stay memory-only (disk churn would outweigh the compute).
+PARTITION_DISK_MIN_EDGES = 200_000
+
+_PARTITION_DISK: Optional["DiskCache"] = None
+_PARTITION_DISK_BASE: Optional[Path] = None
+
+
+def _partition_disk() -> "DiskCache":
+    """The partition store under the *current* cache dir (rebuilt when
+    ``REPRO_CACHE_DIR`` is redirected, e.g. by ``temporary_cache_dir``)."""
+    global _PARTITION_DISK, _PARTITION_DISK_BASE
+    base = default_cache_dir()
+    if _PARTITION_DISK is None or _PARTITION_DISK_BASE != base:
+        _PARTITION_DISK = DiskCache("partition", directory=base,
+                                    namespace=code_version())
+        _PARTITION_DISK_BASE = base
+    return _PARTITION_DISK
+
+
 def cached_partition(
     adjacency: sp.spmatrix,
     num_parts: int,
@@ -146,13 +168,26 @@ def cached_partition(
     balance_factor: float = 1.1,
     refine_passes: int = 2,
 ) -> PartitionResult:
-    """Memoized :func:`~repro.graphs.partition.partition_graph`."""
+    """Memoized :func:`~repro.graphs.partition.partition_graph`.
+
+    Content-keyed on the adjacency's CSR fingerprint plus every
+    partitioner parameter; large graphs additionally resolve through the
+    code-versioned :class:`DiskCache`, so concurrent sweep workers and
+    later processes partition each scale scenario exactly once.
+    """
     key = (graph_fingerprint(adjacency), num_parts, seed, balance_factor,
            refine_passes)
-    return PARTITION_CACHE.get_or_compute(
-        key, lambda: partition_graph(adjacency, num_parts, seed=seed,
-                                     balance_factor=balance_factor,
-                                     refine_passes=refine_passes))
+
+    def compute() -> PartitionResult:
+        run = lambda: partition_graph(adjacency, num_parts, seed=seed,
+                                      balance_factor=balance_factor,
+                                      refine_passes=refine_passes)
+        if adjacency.nnz >= PARTITION_DISK_MIN_EDGES:
+            return _partition_disk().get_or_compute(
+                content_key("partition", *key), run)
+        return run()
+
+    return PARTITION_CACHE.get_or_compute(key, compute)
 
 
 def cached_normalized_adjacency(graph: Graph, kind: str = "gcn") -> sp.csr_matrix:

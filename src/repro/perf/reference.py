@@ -34,6 +34,9 @@ __all__ = [
     "CondenseUnitReference",
     "sample_neighbors_reference",
     "csr_decode_reference",
+    "region_growing_reference",
+    "refine_reference",
+    "partition_graph_reference",
     "AdamReference",
     "SGDReference",
     "clip_grad_norm_reference",
@@ -151,6 +154,212 @@ def csr_decode_reference(encoded) -> np.ndarray:
         start, stop = encoded.indptr[row], encoded.indptr[row + 1]
         out[row, encoded.indices[start:stop]] = encoded.data[start:stop]
     return out
+
+
+# ----------------------------------------------------------------------
+# Seed multilevel partitioner (pre-vectorization region growing / refine)
+# ----------------------------------------------------------------------
+#
+# The helpers below are the partitioner exactly as it shipped before the
+# batched-BFS / vectorized-move rewrite in :mod:`repro.graphs.partition`:
+# a per-neighbor Python loop grows each region and a per-mover Python
+# loop applies refinement moves.  They are kept verbatim (including the
+# coarsening internals, so a future change to the production coarsening
+# cannot silently drift this baseline) for the partition property tests
+# and the ``partition_graph`` benchmark entry.
+
+
+def _symmetrize_seed(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    a = adjacency.tocsr().astype(np.float64)
+    sym = a + a.T
+    sym.setdiag(0)
+    sym.eliminate_zeros()
+    return sym.tocsr()
+
+
+def _row_argmax_seed(adj: sp.csr_matrix, noise: np.ndarray) -> np.ndarray:
+    """Heaviest neighbor per row (with random tie-breaking); -1 if none."""
+    n = adj.shape[0]
+    best = np.full(n, -1, dtype=np.int64)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    nnz_rows = np.nonzero(np.diff(indptr) > 0)[0]
+    if len(nnz_rows) == 0:
+        return best
+    jittered = data + noise[indices] * 1e-9
+    starts = indptr[nnz_rows]
+    maxima = np.maximum.reduceat(jittered, starts)
+    row_of = np.repeat(np.arange(n), np.diff(indptr))
+    row_max = np.empty(n)
+    row_max[nnz_rows] = maxima
+    is_max = jittered >= row_max[row_of] - 1e-15
+    pos = np.nonzero(is_max)[0]
+    rows = row_of[pos]
+    first = np.unique(rows, return_index=True)[1]
+    best[rows[first]] = indices[pos[first]]
+    return best
+
+
+def _coarsen_seed(adj, node_weights, rng):
+    """One level of heavy-edge-matching coarsening (seed version)."""
+    n = adj.shape[0]
+    noise = rng.random(n)
+    best = _row_argmax_seed(adj, noise)
+    ids = np.arange(n)
+    valid = best >= 0
+    mutual = valid & (best[np.clip(best, 0, n - 1)] == ids) & (best != ids)
+    partner = np.where(mutual, best, ids)
+    rep = np.minimum(ids, partner)
+    uniq, cmap = np.unique(rep, return_inverse=True)
+    nc = len(uniq)
+
+    projector = sp.csr_matrix(
+        (np.ones(n), (ids, cmap)), shape=(n, nc)
+    )
+    coarse = (projector.T @ adj @ projector).tocsr()
+    coarse.setdiag(0)
+    coarse.eliminate_zeros()
+    cweights = np.zeros(nc)
+    np.add.at(cweights, cmap, node_weights)
+    return cmap, coarse, cweights
+
+
+def region_growing_reference(
+    adj: sp.csr_matrix,
+    node_weights: np.ndarray,
+    num_parts: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Seed greedy region growing: one Python iteration per visited
+    neighbor (the stack-based growth the vectorized batched-BFS levels
+    replaced)."""
+    n = adj.shape[0]
+    parts = np.full(n, -1, dtype=np.int64)
+    target = node_weights.sum() / num_parts
+    order = rng.permutation(n)
+    indptr, indices = adj.indptr, adj.indices
+    cursor = 0
+    for part in range(num_parts - 1):
+        while cursor < n and parts[order[cursor]] >= 0:
+            cursor += 1
+        if cursor >= n:
+            break
+        frontier = [order[cursor]]
+        weight = 0.0
+        while frontier and weight < target:
+            node = frontier.pop()
+            if parts[node] >= 0:
+                continue
+            parts[node] = part
+            weight += node_weights[node]
+            for nb in indices[indptr[node]:indptr[node + 1]]:
+                if parts[nb] < 0:
+                    frontier.append(int(nb))
+    parts[parts < 0] = num_parts - 1
+    return parts
+
+
+def refine_reference(
+    adj: sp.csr_matrix,
+    node_weights: np.ndarray,
+    parts: np.ndarray,
+    num_parts: int,
+    balance_factor: float,
+    passes: int,
+) -> np.ndarray:
+    """Seed boundary refinement: gains are vectorized but every accepted
+    move is applied by a per-node Python loop."""
+    n = adj.shape[0]
+    target = node_weights.sum() / num_parts
+    limit = target * balance_factor
+    parts = parts.copy()
+    for _ in range(passes):
+        onehot = sp.csr_matrix(
+            (np.ones(n), (np.arange(n), parts)), shape=(n, num_parts)
+        )
+        link = np.asarray((adj @ onehot).todense())
+        current = link[np.arange(n), parts]
+        link[np.arange(n), parts] = -np.inf
+        best_part = link.argmax(axis=1)
+        best_gain = link[np.arange(n), best_part] - current
+        movers = np.nonzero(best_gain > 0)[0]
+        if len(movers) == 0:
+            break
+        movers = movers[np.argsort(-best_gain[movers])]
+        sizes = np.zeros(num_parts)
+        np.add.at(sizes, parts, node_weights)
+        moved = 0
+        for node in movers:
+            dst = best_part[node]
+            src = parts[node]
+            w = node_weights[node]
+            if sizes[dst] + w <= limit and sizes[src] - w > 0:
+                parts[node] = dst
+                sizes[dst] += w
+                sizes[src] -= w
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def partition_graph_reference(
+    adjacency: sp.spmatrix,
+    num_parts: int,
+    seed: int = 0,
+    balance_factor: float = 1.1,
+    coarsen_to=None,
+    refine_passes: int = 2,
+):
+    """The seed multilevel partitioner, end to end.
+
+    Identical orchestration to the pre-vectorization
+    :func:`repro.graphs.partition.partition_graph` — used as the timing
+    baseline and the edge-cut parity reference in the partition property
+    tests.  Returns a :class:`~repro.graphs.partition.PartitionResult`.
+    """
+    from ..graphs.partition import PartitionResult, edge_cut
+
+    n = adjacency.shape[0]
+    if num_parts <= 1 or n <= num_parts:
+        parts = (np.zeros(n, dtype=np.int64) if num_parts <= 1
+                 else np.arange(n) % num_parts)
+        cut = edge_cut(adjacency, parts)
+        return PartitionResult(parts, max(num_parts, 1), cut, 1.0)
+
+    rng = np.random.default_rng(seed)
+    sym = _symmetrize_seed(adjacency)
+    coarsen_to = coarsen_to or max(num_parts * 24, 128)
+
+    graphs = [sym]
+    weights = [np.ones(n, dtype=np.float64)]
+    mappings = []
+    while graphs[-1].shape[0] > coarsen_to:
+        cmap, coarse, cweights = _coarsen_seed(graphs[-1], weights[-1], rng)
+        if coarse.shape[0] >= graphs[-1].shape[0] * 0.95:
+            break
+        mappings.append(cmap)
+        graphs.append(coarse)
+        weights.append(cweights)
+
+    parts = region_growing_reference(graphs[-1], weights[-1], num_parts, rng)
+
+    for level in range(len(mappings) - 1, -1, -1):
+        parts = parts[mappings[level]]
+        parts = refine_reference(graphs[level], weights[level], parts,
+                                 num_parts, balance_factor, refine_passes)
+    parts = refine_reference(graphs[0], weights[0], parts, num_parts,
+                             balance_factor, refine_passes)
+
+    blocks = np.minimum(np.arange(n) * num_parts // n, num_parts - 1)
+    blocks = refine_reference(graphs[0], weights[0], blocks.astype(np.int64),
+                              num_parts, balance_factor, refine_passes)
+    if edge_cut(adjacency, blocks) < edge_cut(adjacency, parts):
+        parts = blocks
+
+    cut = edge_cut(adjacency, parts)
+    sizes = np.bincount(parts, minlength=num_parts).astype(float)
+    balance = float(sizes.max() / (n / num_parts))
+    return PartitionResult(parts.astype(np.int64), num_parts, cut, balance)
 
 
 # ----------------------------------------------------------------------

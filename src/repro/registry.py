@@ -191,6 +191,10 @@ class DatasetEntry:
     hidden_density: Callable[[str], float]
     average_bits: Callable[[str], float]
     description: str = ""
+    # Approximate node count of the simulation-scale graph (0 = small/
+    # unknown).  The sweep engine uses it to split oversized per-dataset
+    # job chunks so one huge scenario fans out per job across the pool.
+    size_hint: int = 0
     # Version token mixed into disk-cache keys (see AcceleratorEntry.
     # version).  The graph's adjacency fingerprint does not cover
     # features or workload statistics, so runtime-registered scenarios

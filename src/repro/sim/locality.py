@@ -48,13 +48,17 @@ class AggregationTraffic:
         return self.internal + self.cross + self.reorder_writes
 
 
-def cross_subgraph_pairs(adjacency: sp.csr_matrix, parts: np.ndarray):
+def cross_subgraph_pairs(adjacency: sp.csr_matrix, parts: np.ndarray,
+                         cross: Optional[np.ndarray] = None):
     """Unique (destination-subgraph, source) pairs over sparse connections.
 
     Returns ``(num_unique_pairs, num_cross_edges, unique_sources)``.
+    ``cross`` lets callers that already computed the cross-edge mask
+    pass it in instead of recomputing the O(E) predicate.
     """
     coo = coo_view(adjacency)
-    cross = cross_edge_mask(adjacency, parts)
+    if cross is None:
+        cross = cross_edge_mask(adjacency, parts)
     dst_part = parts[coo.row[cross]].astype(np.int64)
     src = coo.col[cross].astype(np.int64)
     if len(src) == 0:
@@ -135,10 +139,12 @@ def aggregation_locality_traffic(
         # granularity — no reuse across edges of the same source.
         cross = dram.random_access(num_cross_edges, feat, purpose="agg_cross_read")
     elif strategy == "gcod":
-        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles)
+        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles,
+                                                  cross=cross_mask)
         cross = dram.random_access(unique_pairs, feat, purpose="agg_cross_read")
     else:  # condense
-        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles)
+        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles,
+                                                  cross=cross_mask)
         useful = unique_pairs * feat
         # The Condense Unit wrote these features contiguously per
         # subgraph while the first subgraph aggregated; reading them

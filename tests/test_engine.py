@@ -201,5 +201,41 @@ class TestDiskCache:
         assert cache.get_or_compute(content_key("k"), lambda: 41 + 1) == 42
 
 
+class TestChunkSplitting:
+    """Oversized scenarios chunk per job so one huge dataset fans out."""
+
+    def test_small_scenarios_chunk_per_dataset(self):
+        from repro.eval.engine import _chunk_key
+
+        jobs = [SimJob.from_call(acc, "powerlaw-10k", "gcn")
+                for acc in ("mega", "gcnax")]
+        keys = {_chunk_key(job) for job in jobs}
+        assert keys == {("powerlaw-10k", 0)}
+
+    def test_huge_scenarios_chunk_per_job(self):
+        from repro.eval.engine import _chunk_key
+
+        jobs = [SimJob.from_call(acc, "powerlaw-500k", "gcn")
+                for acc in ("mega", "gcnax")]
+        keys = {_chunk_key(job) for job in jobs}
+        assert keys == set(jobs)
+
+    def test_threshold_env_knob(self, monkeypatch):
+        from repro.eval.engine import _chunk_key
+
+        job = SimJob.from_call("mega", "powerlaw-10k", "gcn")
+        monkeypatch.setenv("REPRO_CHUNK_SPLIT_NODES", "5000")
+        assert _chunk_key(job) == job
+        monkeypatch.setenv("REPRO_CHUNK_SPLIT_NODES", "not-a-number")
+        assert _chunk_key(job) == ("powerlaw-10k", 0)
+
+    def test_paper_datasets_carry_size_hints(self):
+        from repro.registry import get_dataset
+
+        assert get_dataset("cora").size_hint == 2708
+        assert get_dataset("powerlaw-500k").size_hint == 500_000
+        assert get_dataset("reddit").size_hint > 0
+
+
 def test_default_engine_is_shared():
     assert get_engine() is get_engine()

@@ -292,10 +292,14 @@ class TestTimersAndBench:
         assert acc["executed_warm_train_jobs"] == 0
         assert acc["executed_cold_train_jobs"] == acc["jobs"]
         assert acc["warm_speedup"] > 1.0
+        scale = report["scale_sweep"]
+        assert scale["executed_warm_jobs"] == 0
+        assert scale["executed_cold_jobs"] == scale["jobs"]
+        assert scale["warm_speedup"] > 1.0
         assert report["train_epoch"]["bit_identical"]
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v3"
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v4"
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):

@@ -166,6 +166,12 @@ class TestSuiteRegistry:
         assert len(get_suite("quick").workloads) == 5
         assert all(ds in DATASETS for ds, _ in get_suite("scale-sweep").workloads)
 
+    def test_scale_sweep_10k_suite_is_ci_sized(self):
+        suite = get_suite("scale-sweep-10k")
+        assert suite.workloads
+        assert all(ds.endswith("-10k") for ds, _ in suite.workloads)
+        assert all(ds in DATASETS for ds, _ in suite.workloads)
+
     def test_suite_datasets_deduplicated(self):
         suite = SuiteEntry("s", (("cora", "gcn"), ("cora", "gin"),
                                  ("pubmed", "gcn")))
