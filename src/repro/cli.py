@@ -18,12 +18,22 @@ Examples::
     python -m repro run speedup_table --suite quick --out artifacts
     python -m repro run --suite scale-sweep --workers 4
     python -m repro run stall_table --suite scale-sweep-10k
+    python -m repro run stall_table --retries 3 --timeout 120
+    python -m repro run --resume run-20260808-120000-abc123
     python -m repro bench --quick
 
 Scale-scenario sweeps resolve through the same cached engine as every
 other suite: a warm rerun (same ``REPRO_CACHE_DIR``, same code version)
 executes zero jobs, and scenarios of 100k+ nodes fan out per job across
 the worker pool (``REPRO_CHUNK_SPLIT_NODES``).
+
+Every ``run`` is journaled by default (``--no-journal`` opts out): the
+run's spec and every completed job land in an append-only JSONL file
+under the cache directory, so an interrupted sweep — SIGKILL included —
+resumes with ``run --resume <run-id>``, re-executing only the jobs that
+never finished (completed jobs replay from the disk cache).  Jobs that
+exhaust ``--retries`` degrade into the artifact's ``errors`` metadata
+and exit code 1; ``--fail-fast`` restores raise-on-first-error.
 """
 
 from __future__ import annotations
@@ -50,7 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "list", help="list registered accelerators/datasets/suites/experiments")
     list_p.add_argument("what", nargs="?", default="all",
                         choices=("all", "accelerators", "datasets", "suites",
-                                 "experiments"))
+                                 "experiments", "runs"))
 
     run_p = sub.add_parser(
         "run", help="run experiments and write schema'd artifacts")
@@ -71,6 +81,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             "json,csv,md (default: json)")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress the markdown table printout")
+    run_p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="per-job retry budget on failure/timeout/worker "
+                            "death (default: REPRO_JOB_RETRIES or 0)")
+    run_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job deadline in seconds (default: "
+                            "REPRO_JOB_TIMEOUT or disabled)")
+    run_p.add_argument("--fail-fast", action="store_true",
+                       help="re-raise the first exhausted job instead of "
+                            "degrading it into the artifact's errors "
+                            "metadata")
+    run_p.add_argument("--run-id", default=None, metavar="ID",
+                       help="journal this run under a fixed id (default: "
+                            "generated)")
+    run_p.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="re-run a journaled run's spec; completed jobs "
+                            "replay from the cache, only unfinished jobs "
+                            "execute")
+    run_p.add_argument("--no-journal", action="store_true",
+                       help="do not journal this run (it cannot be resumed "
+                            "by id)")
 
     sub.add_parser(
         "bench", add_help=False,
@@ -80,6 +110,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list(what: str) -> int:
+    if what == "runs":
+        from .eval.journal import RunJournal, list_runs
+
+        runs = list_runs()
+        print(f"journaled runs ({len(runs)}):")
+        for run_id in runs:
+            try:
+                journal = RunJournal.load(run_id)
+            except (OSError, ValueError):
+                print(f"  {run_id}  [unreadable]")
+                continue
+            state = "complete" if journal.complete else "resumable"
+            print(f"  {run_id}  {state}: {len(journal.completed_jobs())} jobs "
+                  f"ok, {len(journal.failed_jobs())} failed")
+        return 0
     sections = {
         "accelerators": (ACCELERATORS, lambda e: f"[{e.precision}] {e.description}"),
         "datasets": (DATASETS, lambda e: e.description),
@@ -97,7 +142,51 @@ def _cmd_list(what: str) -> int:
     return 0
 
 
+def _apply_run_env(args: argparse.Namespace) -> None:
+    """Export --retries/--timeout as the engine's environment knobs, so
+    forked workers (and the engine's run-time defaults) see them."""
+    import os
+
+    if args.retries is not None:
+        os.environ["REPRO_JOB_RETRIES"] = str(max(int(args.retries), 0))
+    if args.timeout is not None:
+        os.environ["REPRO_JOB_TIMEOUT"] = str(max(float(args.timeout), 0.0))
+
+
+def _resume_args(args: argparse.Namespace, spec: dict) -> None:
+    """Rehydrate the CLI namespace from a journaled run spec.
+
+    Explicit flags on the resume invocation win over the journaled
+    values, so ``--resume <id> --workers 8`` re-runs the same spec with
+    a bigger pool.
+    """
+    args.experiments = list(spec.get("experiments", []))
+    if args.suite is None:
+        args.suite = spec.get("suite")
+    if args.workers is None:
+        args.workers = spec.get("workers")
+    if args.retries is None:
+        args.retries = spec.get("retries")
+    if args.timeout is None:
+        args.timeout = spec.get("timeout")
+    args.fail_fast = args.fail_fast or bool(spec.get("fail_fast"))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .eval.engine import get_engine
+    from .eval.journal import RunJournal
+
+    journal = None
+    if args.resume is not None:
+        try:
+            journal = RunJournal.load(args.resume)
+        except FileNotFoundError:
+            print(f"error: no journal for run {args.resume!r} "
+                  f"(see `python -m repro list runs`)", file=sys.stderr)
+            return 2
+        _resume_args(args, journal.spec)
+        journal.record_event("resumed")
+
     names = list(args.experiments)
     if not names:
         names = [name for name, spec in EXPERIMENTS.items() if spec.smoke]
@@ -111,35 +200,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"expected json, csv, md", file=sys.stderr)
         return 2
 
+    _apply_run_env(args)
+    if journal is None and not args.no_journal:
+        journal = RunJournal.create(run_id=args.run_id, spec={
+            "experiments": list(args.experiments),
+            "suite": args.suite,
+            "workers": args.workers,
+            "retries": args.retries,
+            "timeout": args.timeout,
+            "fail_fast": bool(args.fail_fast),
+        })
+    if journal is not None:
+        print(f"run id: {journal.run_id} (resume with: python -m repro run "
+              f"--resume {journal.run_id})")
+
     # Resolve every name up front so a typo fails before any sweep runs.
     for name in names:
         get_experiment(name)
-    for name in names:
-        spec = get_experiment(name)
-        params = {}
-        if args.suite is not None:
-            suite = get_suite(args.suite)
-            if spec.suite_param is None:
-                if args.experiments:
-                    raise RegistryError(
-                        f"experiment {name!r} is not suite-parameterized; "
-                        f"drop --suite or pick one of: "
-                        f"{', '.join(n for n, s in EXPERIMENTS.items() if s.suite_param)}")
-                # Smoke-set run: specs without a suite parameter run on
-                # their declared defaults.
-            else:
-                params = spec.suite_params(suite)
-        artifact = run_experiment(name, workers=args.workers, **params)
-        if not args.quiet:
-            jobs = artifact.metadata["jobs"]
-            print(f"== {artifact.experiment} "
-                  f"({jobs['unique']} jobs, {jobs['executed']} executed, "
-                  f"{artifact.metadata['elapsed_s'] * 1e3:.0f} ms) ==")
-            print(artifact.to_markdown())
-            print()
-        if args.out:
-            for path in artifact.save(args.out, formats=formats):
-                print(f"wrote {path}")
+    engine = get_engine()
+    previous_journal = engine.journal
+    engine.journal = journal
+    failed_jobs = 0
+    try:
+        for name in names:
+            spec = get_experiment(name)
+            params = {}
+            if args.suite is not None:
+                suite = get_suite(args.suite)
+                if spec.suite_param is None:
+                    if args.experiments:
+                        raise RegistryError(
+                            f"experiment {name!r} is not suite-parameterized; "
+                            f"drop --suite or pick one of: "
+                            f"{', '.join(n for n, s in EXPERIMENTS.items() if s.suite_param)}")
+                    # Smoke-set run: specs without a suite parameter run on
+                    # their declared defaults.
+                else:
+                    params = spec.suite_params(suite)
+            artifact = run_experiment(name, workers=args.workers,
+                                      fail_fast=args.fail_fast, **params)
+            failed_here = artifact.metadata["jobs"].get("failed", 0)
+            failed_jobs += failed_here
+            if not args.quiet:
+                jobs = artifact.metadata["jobs"]
+                print(f"== {artifact.experiment} "
+                      f"({jobs['unique']} jobs, {jobs['executed']} executed, "
+                      f"{artifact.metadata['elapsed_s'] * 1e3:.0f} ms) ==")
+                print(artifact.to_markdown())
+                print()
+            if failed_here:
+                for error in artifact.metadata.get("errors", []):
+                    print(f"FAILED [{error['kind']}] {error['job']}: "
+                          f"{error['error_type']}: {error['error']} "
+                          f"(after {error['attempts']} attempt(s))",
+                          file=sys.stderr)
+            if args.out:
+                for path in artifact.save(args.out, formats=formats):
+                    print(f"wrote {path}")
+    finally:
+        engine.journal = previous_journal
+    if journal is not None and not failed_jobs:
+        journal.record_event("run-complete")
+    if failed_jobs:
+        print(f"error: {failed_jobs} job(s) exhausted their retry budget; "
+              f"artifacts carry partial rows (see metadata errors)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

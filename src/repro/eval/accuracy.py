@@ -11,6 +11,14 @@ The legacy function names remain as shims returning the artifact's
 value bit-identically.  ``quick=True`` shrinks epochs for CI-style runs
 while preserving the orderings the paper reports; ``config`` overrides
 the budget outright (tests and benchmarks use tiny budgets).
+
+Because a single training run is minutes of work, these specs are the
+main beneficiaries of the supervision layer: a worker killed or hung
+mid-grid costs one training (retried under ``REPRO_JOB_RETRIES``), not
+the grid, and every finished training is journaled/persisted as it
+lands, so an interrupted table resumes instead of retraining.  The
+chaos suite (``tests/test_chaos.py``) holds these specs to the same
+bit-identical-under-faults bar as the simulation sweeps.
 """
 
 from __future__ import annotations

@@ -25,13 +25,30 @@ same three layers:
    step) replays a sweep without re-simulating, any code change
    invalidates every entry, and stale-version entries are pruned rather
    than accumulated;
-3. actual execution, either serially or fanned out over a
-   ``ProcessPoolExecutor`` — simulation jobs chunked per dataset (so a
-   worker amortizes dataset + workload construction), training jobs one
-   per chunk (each is minutes of work; the (case × flow × seed) grid is
-   the parallel axis).  Workers are forked *after* the parent resolved
-   the dataset fingerprints, so they inherit the warm dataset caches.
-   Any failure to stand up the pool falls back to the serial path.
+3. actual execution, *supervised* (see :mod:`repro.eval.supervise`):
+   serially with per-job deadlines and bounded retries, or fanned out
+   over forked worker processes the supervisor owns — simulation jobs
+   chunked per dataset (so a worker amortizes dataset + workload
+   construction), training jobs one per chunk (each is minutes of work;
+   the (case × flow × seed) grid is the parallel axis).  Workers are
+   forked *after* the parent resolved the dataset fingerprints, so they
+   inherit the warm dataset caches, and they stream one result message
+   per finished job — a worker that is SIGKILLed or hangs loses only
+   its in-flight job (killed by the watchdog, retried with exponential
+   backoff), never work that already completed.  Any failure to stand
+   up subprocesses falls back to the supervised serial path.
+
+Every completed job is persisted to the disk store (and the run journal,
+when one is attached) *as it lands*, so an interrupted sweep is a
+checkpoint: rerunning the same batch — or ``repro run --resume
+<run-id>`` — executes only the jobs that never finished.  Jobs that
+exhaust their retry budget either raise (``on_error="raise"``, the
+default for direct ``run()`` calls and the CLI's ``--fail-fast``) or
+degrade gracefully (``on_error="degrade"``): the sweep completes, the
+failure is recorded as a :class:`~repro.eval.supervise.JobFailure` in
+``SweepEngine.failures``, and :func:`repro.report.run_experiment` turns
+those into the artifact's structured ``errors`` metadata alongside the
+partial rows.
 
 Training results are bit-identical across the serial, parallel and
 cache-replay paths: every flow seeds its own RNG streams from the job's
@@ -47,19 +64,24 @@ Environment knobs:
   ``~/.cache/repro``);
 - ``REPRO_CHUNK_SPLIT_NODES`` — scenario size (sim-scale nodes, default
   100000) at which per-dataset simulation chunks split into per-job
-  chunks so a single huge scenario still fans out across the pool.
+  chunks so a single huge scenario still fans out across the pool;
+- ``REPRO_JOB_RETRIES`` — retry budget per job after a failure, timeout
+  or worker death (default 0: fail on first error, today's behavior);
+- ``REPRO_JOB_TIMEOUT`` — per-job deadline in seconds (default 0:
+  disabled); enforced in-process via SIGALRM and, for worker processes,
+  backstopped by the supervisor's watchdog kill;
+- ``REPRO_JOB_BACKOFF`` — base of the exponential retry backoff in
+  seconds (default 0.05; attempt ``n`` waits ``backoff * 2**n``).
 """
 
 from __future__ import annotations
 
 import contextlib
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from .. import faults
 from ..nn import TrainConfig
 from ..perf.cache import (
     ContentCache,
@@ -73,6 +95,7 @@ from ..quant.flows import TRAIN_FLOWS, freeze_value, thaw_value
 from ..registry import get_accelerator
 from ..sim.accelerator import SimReport
 from ..sim.workload import Workload, build_workload
+from .supervise import JobFailure, Supervisor, run_serial
 
 __all__ = ["SimJob", "TrainJob", "SweepEngine", "get_engine", "set_engine",
            "temporary_cache_dir"]
@@ -85,6 +108,20 @@ def _env_workers() -> int:
         return max(int(os.environ.get("REPRO_SWEEP_WORKERS", "0")), 0)
     except ValueError:
         return 0
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return max(int(os.environ.get(name, str(default))), 0)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return max(float(os.environ.get(name, str(default))), 0.0)
+    except ValueError:
+        return default
 
 
 @dataclass(frozen=True)
@@ -204,24 +241,26 @@ def _execute_train_job(job: TrainJob):
                                  seed=job.seed, **kwargs)
 
 
-def _execute_job(job):
+def _execute_job(job, attempt: int = 0):
     """Execute one job of either kind (dispatch on the job type).
 
     Simulation jobs resolve their accelerator through the registry, so
     a registered scenario never needs an engine edit; variant kwargs
     are rejected by entries that declare a fixed configuration.
+
+    ``attempt`` is the retry ordinal the supervision layer passes in;
+    the fault-injection harness (:mod:`repro.faults`) keys on it so
+    injected failures fire only on a job's first attempt.
     """
+    injector = faults.active_injector()
+    if injector is not None:
+        injector.on_job(repr(job), attempt)
     if isinstance(job, TrainJob):
         return _execute_train_job(job)
     workload = _build_job_workload(job)
     entry = get_accelerator(job.accelerator)
     # entry.build rejects variant kwargs on fixed-configuration presets.
     return entry.build(**dict(job.variant)).simulate(workload)
-
-
-def _execute_chunk(jobs: Sequence) -> List:
-    """Pool entry point: run one chunk of jobs."""
-    return [_execute_job(job) for job in jobs]
 
 
 # Simulation jobs over datasets at least this large chunk per job
@@ -262,11 +301,13 @@ def _chunk_key(job):
 
 
 class SweepEngine:
-    """Deduplicating, caching, optionally parallel job runner."""
+    """Deduplicating, caching, supervised (optionally parallel) runner."""
 
     def __init__(self, workers: Optional[int] = None,
                  cache_dir: Optional[os.PathLike] = None,
-                 use_disk: bool = True) -> None:
+                 use_disk: bool = True, retries: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 backoff: Optional[float] = None, journal=None) -> None:
         self.workers = _env_workers() if workers is None else max(int(workers), 0)
         self.reports = ContentCache("job_results")
         self.tables = ContentCache("tables")
@@ -275,13 +316,39 @@ class SweepEngine:
         self.disk: Optional[DiskCache] = (
             DiskCache("sweep", directory=cache_dir, namespace=code_version())
             if use_disk else None)
+        # Supervision policy; None defers to the environment knobs at
+        # run time (so the CLI and tests can set them per invocation).
+        self._retries = retries
+        self._timeout = timeout
+        self._backoff = backoff
+        # Optional RunJournal: completed/failed jobs are appended as
+        # they land, making any run resumable by id.
+        self.journal = journal
         self.executed_jobs = 0
         # Models actually trained by this engine (TrainJobs that reached
         # the execute layer; cache-resolved jobs never count).
         self.executed_train_jobs = 0
-        # True once a worker pool actually executed jobs (stays False
+        # True once worker processes actually executed jobs (stays False
         # when the serial path or a fallback ran instead).
         self.pool_used = False
+        # Jobs that exhausted their retry budget in degrade mode
+        # (accumulates across run() calls; cleared by clear_memory).
+        self.failures: List[JobFailure] = []
+
+    @property
+    def retries(self) -> int:
+        return (self._retries if self._retries is not None
+                else _env_int("REPRO_JOB_RETRIES", 0))
+
+    @property
+    def timeout(self) -> float:
+        return (self._timeout if self._timeout is not None
+                else _env_float("REPRO_JOB_TIMEOUT", 0.0))
+
+    @property
+    def backoff(self) -> float:
+        return (self._backoff if self._backoff is not None
+                else _env_float("REPRO_JOB_BACKOFF", 0.05))
 
     def _note_executed(self, jobs: Sequence) -> None:
         self.executed_jobs += len(jobs)
@@ -338,9 +405,20 @@ class SweepEngine:
         )
 
     # -- execution ---------------------------------------------------------
-    def run(self, jobs: Sequence, workers: Optional[int] = None) -> Dict:
+    def run(self, jobs: Sequence, workers: Optional[int] = None,
+            on_error: str = "raise") -> Dict:
         """Execute a batch of jobs (of either kind), deduplicated,
-        through the memory → disk → execute stack."""
+        through the memory → disk → execute stack.
+
+        ``on_error="raise"`` (the default) re-raises the first job
+        failure once everything already completed has been stored;
+        ``on_error="degrade"`` finishes the batch, records exhausted
+        jobs in :attr:`failures` (and the journal), and returns the
+        partial result map.
+        """
+        if on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'degrade', not {on_error!r}")
         workers = self.workers if workers is None else max(int(workers), 0)
         unique = list(dict.fromkeys(jobs))
         results: Dict = {}
@@ -358,76 +436,90 @@ class SweepEngine:
             pending.append(job)
 
         if pending:
+            fail_fast = on_error == "raise"
             if workers > 1 and len(pending) > 1:
-                self._run_parallel(pending, workers, results)
+                failures = self._run_parallel(pending, workers, results,
+                                              fail_fast)
             else:
-                self._run_serial(pending, results)
+                failures = self._run_serial(pending, results, fail_fast)
+            for failure in failures:
+                self._record_failure(failure)
         return results
 
-    def _store(self, job, report, results: Dict) -> None:
+    def _safe_fingerprint(self, job) -> str:
+        """The job's disk fingerprint, or its repr when the fingerprint
+        itself cannot be computed (e.g. the dataset load is what failed)."""
+        try:
+            return self.job_fingerprint(job)
+        except Exception:
+            return f"unfingerprintable:{job!r}"
+
+    def _store(self, job, report, results: Dict, attempts: int = 1,
+               elapsed: float = 0.0) -> None:
+        """Persist one landed result: memory, disk, then journal — in
+        that order, so a journal ``ok`` line always implies the disk
+        entry it promises already exists."""
         results[job] = self.reports.put(job, report)
+        fingerprint: Optional[str] = None
         if self.disk is not None:
-            self.disk.put(self.job_fingerprint(job), report)
+            fingerprint = self.job_fingerprint(job)
+            self.disk.put(fingerprint, report)
+        if self.journal is not None:
+            self.journal.record_job(fingerprint or self._safe_fingerprint(job),
+                                    "ok", attempts=attempts,
+                                    elapsed_s=elapsed)
 
-    def _run_serial(self, pending: Sequence, results: Dict) -> None:
-        """Execute jobs one by one, persisting each result as it lands
-        (a failure part-way keeps everything computed so far cached)."""
-        for job in pending:
-            report = _execute_job(job)
+    def _record_failure(self, failure: JobFailure) -> None:
+        self.failures.append(failure)
+        if self.journal is not None:
+            self.journal.record_job(
+                self._safe_fingerprint(failure.job), "failed",
+                attempts=failure.attempts, elapsed_s=failure.elapsed_s,
+                error=f"{failure.error_type}: {failure.error}",
+                kind=failure.kind)
+
+    def _on_result(self, results: Dict):
+        def landed(job, report, attempts: int, elapsed: float) -> None:
             self._note_executed([job])
-            self._store(job, report, results)
+            self._store(job, report, results, attempts=attempts,
+                        elapsed=elapsed)
+        return landed
 
-    def _run_parallel(self, pending: Sequence, workers: int,
-                      results: Dict) -> None:
-        """Fan job chunks out over a process pool.
+    def _run_serial(self, pending: Sequence, results: Dict,
+                    fail_fast: bool = True) -> List[JobFailure]:
+        """Execute jobs one by one under the retry/deadline policy,
+        persisting each result as it lands (a failure part-way keeps
+        everything computed so far cached)."""
+        return run_serial(pending, _execute_job, self._on_result(results),
+                          timeout=self.timeout, retries=self.retries,
+                          backoff=self.backoff, fail_fast=fail_fast)
+
+    def _run_parallel(self, pending: Sequence, workers: int, results: Dict,
+                      fail_fast: bool = True) -> List[JobFailure]:
+        """Fan job chunks out over supervised worker processes.
 
         Chunk granularity comes from :func:`_chunk_key` — per
         (dataset, seed) for simulation jobs so a worker amortizes
         dataset/workload construction, per job for training jobs; fork
-        (where available) additionally hands workers the parent's warm
-        caches.  Completed chunks are persisted as they arrive: a job
-        error costs its own chunk and is re-raised once every other
-        chunk is stored, and a dead pool (no subprocess support,
-        OOM-killed workers) degrades to the serial path for whatever is
-        still missing.
+        hands workers the parent's warm caches.  Workers stream one
+        message per finished job, so every completed job is persisted
+        as it arrives: a killed or hung worker costs only its in-flight
+        job (retried under the engine's budget), and an environment
+        without subprocess support degrades to supervised in-process
+        execution.
         """
         chunks: Dict[object, List] = {}
         for job in pending:
             chunks.setdefault(_chunk_key(job), []).append(job)
         chunk_list = list(chunks.values())
-        ctx = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
+        supervisor = Supervisor(
+            workers=min(workers, len(chunk_list)), execute=_execute_job,
+            timeout=self.timeout, retries=self.retries, backoff=self.backoff)
         try:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunk_list)),
-                                       mp_context=ctx)
-        except (OSError, ValueError, NotImplementedError):
-            # No subprocess/semaphore support in this environment.
-            self._run_serial(pending, results)
-            return
-        job_error: Optional[BaseException] = None
-        pool_broken = False
-        with pool:
-            futures = {pool.submit(_execute_chunk, chunk): chunk
-                       for chunk in chunk_list}
-            for future in as_completed(futures):
-                chunk = futures[future]
-                try:
-                    chunk_reports = future.result()
-                except BrokenProcessPool:
-                    pool_broken = True
-                    break
-                except Exception as exc:
-                    job_error = job_error or exc
-                    continue
-                self.pool_used = True
-                self._note_executed(chunk)
-                for job, report in zip(chunk, chunk_reports):
-                    self._store(job, report, results)
-        if pool_broken:
-            self._run_serial([j for j in pending if j not in results], results)
-        elif job_error is not None:
-            raise job_error
+            return supervisor.run(chunk_list, self._on_result(results),
+                                  fail_fast=fail_fast)
+        finally:
+            self.pool_used = self.pool_used or supervisor.used_processes
 
     def simulate(self, accelerator: str, dataset: str, model: str,
                  target_average_bits: Optional[float] = None,
@@ -484,6 +576,7 @@ class SweepEngine:
         self.executed_jobs = 0
         self.executed_train_jobs = 0
         self.pool_used = False
+        self.failures = []
 
     def clear_disk(self) -> None:
         if self.disk is not None:
@@ -494,7 +587,8 @@ class SweepEngine:
                "workloads": _WORKLOAD_MEMO.stats(),
                "executed": {"jobs": self.executed_jobs,
                             "train_jobs": self.executed_train_jobs,
-                            "pool_used": self.pool_used}}
+                            "pool_used": self.pool_used,
+                            "failed_jobs": len(self.failures)}}
         if self.disk is not None:
             out["disk"] = self.disk.stats()
         return out

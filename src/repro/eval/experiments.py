@@ -12,6 +12,14 @@ in-memory value — bit-identical to the pre-registry implementations.
 Workload suites (``paper``, ``quick``, ``scale-sweep``, ``smoke``) are
 registered here too; any spec with a ``suite_param`` can be re-pointed
 at a suite from the CLI (``--suite``).
+
+Every spec here executes under the engine's supervision layer
+(:mod:`repro.eval.supervise`): per-job deadlines, bounded retries, and
+checkpoint-as-you-go persistence.  The chaos suite
+(``tests/test_chaos.py``) pins each registered spec to a
+fault-injection run (:mod:`repro.faults`) that must produce values
+bit-identical to a fault-free sweep — a new spec must join that map to
+land.
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Append-only run journals: the checkpoint behind ``repro run --resume``.
+
+A journal is one JSONL file per run under
+``<REPRO_CACHE_DIR>/runs/<run-id>/journal.jsonl``.  The first record
+captures what the run *is* (the experiment names, suite and CLI
+parameters), and every subsequent record is an event: one line per
+completed or failed job (its engine fingerprint, attempts, elapsed
+time), one per finished experiment, and a final ``run-complete``
+marker.  Each line is flushed and fsync'd as it is appended, so a
+SIGKILL mid-sweep leaves at worst one torn trailing line — which
+:meth:`RunJournal.load` tolerates by ignoring it.
+
+Resume works with the disk cache, not instead of it: every job the
+journal marks ``ok`` was persisted to the engine's content-addressed
+:class:`~repro.perf.cache.DiskCache` *before* the journal line was
+written, so replaying the journaled spec re-executes only jobs the
+journal (and store) never saw.  The journal contributes the *recipe* —
+``repro run --resume <id>`` needs no re-typed arguments — and the
+per-job provenance trail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+__all__ = ["RunJournal", "new_run_id", "runs_dir", "list_runs"]
+
+
+def runs_dir(directory: Optional[os.PathLike] = None) -> Path:
+    """The run-journal root under the (current) cache directory."""
+    from ..perf.cache import default_cache_dir
+
+    base = Path(directory) if directory is not None else default_cache_dir()
+    return base / "runs"
+
+
+def new_run_id() -> str:
+    """A fresh, human-sortable run id (timestamp + random suffix)."""
+    return "run-" + time.strftime("%Y%m%d-%H%M%S") + "-" + secrets.token_hex(3)
+
+
+def list_runs(directory: Optional[os.PathLike] = None) -> List[str]:
+    root = runs_dir(directory)
+    try:
+        return sorted(p.name for p in root.iterdir()
+                      if (p / "journal.jsonl").is_file())
+    except OSError:
+        return []
+
+
+class RunJournal:
+    """Append-only JSONL journal for one sweep run."""
+
+    def __init__(self, run_id: str,
+                 directory: Optional[os.PathLike] = None) -> None:
+        self.run_id = run_id
+        self.path = runs_dir(directory) / run_id / "journal.jsonl"
+        self._records: List[Dict] = []
+        self._write_disabled = False
+
+    # -- creation / loading ------------------------------------------------
+    @classmethod
+    def create(cls, run_id: Optional[str] = None,
+               spec: Optional[Dict] = None,
+               directory: Optional[os.PathLike] = None) -> "RunJournal":
+        """Start a new journal, writing the run-spec header record."""
+        journal = cls(run_id or new_run_id(), directory=directory)
+        journal.append({"type": "run", "run_id": journal.run_id,
+                        "created": time.time(), "spec": dict(spec or {})})
+        return journal
+
+    @classmethod
+    def load(cls, run_id: str,
+             directory: Optional[os.PathLike] = None) -> "RunJournal":
+        """Read an existing journal (raises FileNotFoundError if absent).
+
+        A torn trailing line — the signature of a SIGKILL mid-append —
+        is dropped; torn lines elsewhere raise, since they mean the file
+        was edited or corrupted, not interrupted.
+        """
+        journal = cls(run_id, directory=directory)
+        lines = journal.path.read_text().splitlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                journal._records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    continue
+                raise ValueError(
+                    f"journal {journal.path} is corrupt at line "
+                    f"{lineno + 1}") from None
+        return journal
+
+    # -- appending ---------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Append one record durably; journal I/O never fails the sweep."""
+        self._records.append(record)
+        if self._write_disabled:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            self._write_disabled = True
+            warnings.warn(
+                f"run journal {self.path} is unwritable ({exc}); the sweep "
+                f"continues but this run cannot be resumed by id",
+                RuntimeWarning, stacklevel=2)
+
+    def record_job(self, fingerprint: str, status: str, attempts: int = 1,
+                   elapsed_s: float = 0.0, error: Optional[str] = None,
+                   kind: str = "") -> None:
+        record = {"type": "job", "fingerprint": fingerprint,
+                  "status": status, "attempts": attempts,
+                  "elapsed_s": round(elapsed_s, 6)}
+        if error:
+            record["error"] = error
+        if kind:
+            record["kind"] = kind
+        self.append(record)
+
+    def record_experiment(self, name: str, executed: int,
+                          failed: int) -> None:
+        self.append({"type": "experiment", "name": name,
+                     "executed": executed, "failed": failed})
+
+    def record_event(self, event: str) -> None:
+        self.append({"type": event, "at": time.time()})
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def spec(self) -> Dict:
+        for record in self._records:
+            if record.get("type") == "run":
+                return dict(record.get("spec", {}))
+        return {}
+
+    def completed_jobs(self) -> Set[str]:
+        """Fingerprints of every job journaled as ``ok``."""
+        return {r["fingerprint"] for r in self._records
+                if r.get("type") == "job" and r.get("status") == "ok"}
+
+    def failed_jobs(self) -> Set[str]:
+        return {r["fingerprint"] for r in self._records
+                if r.get("type") == "job" and r.get("status") == "failed"}
+
+    def completed_experiments(self) -> Set[str]:
+        return {r["name"] for r in self._records
+                if r.get("type") == "experiment"}
+
+    @property
+    def complete(self) -> bool:
+        return any(r.get("type") == "run-complete" for r in self._records)
+
+    def records(self) -> List[Dict]:
+        return list(self._records)

@@ -28,6 +28,7 @@ import os
 import pickle
 import shutil
 import sys
+import warnings
 import weakref
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, TypeVar
@@ -243,7 +244,19 @@ def clear_all_caches() -> None:
 # ----------------------------------------------------------------------
 
 # Bump when the pickle layout of stored artifacts changes incompatibly.
-DISK_SCHEMA_VERSION = 1
+# v2: entries carry a checksum footer (magic + payload + sha1(payload)).
+DISK_SCHEMA_VERSION = 2
+
+# Entry-file magic for the checksummed layout.  A truncated write can
+# yield bytes that still *unpickle* (pickle stops at its STOP opcode and
+# ignores trailing garbage, so a file cut inside the footer region loads
+# cleanly) — the footer digest is what actually proves the entry whole.
+_CHECKSUM_MAGIC = b"RPRC2\n"
+_DIGEST_BYTES = 20
+
+
+class _CorruptEntry(Exception):
+    """Internal: an entry failed its structural/checksum validation."""
 
 _CODE_VERSION: Optional[str] = None
 
@@ -300,41 +313,97 @@ class DiskCache:
     passes :func:`code_version`) is a path component rather than part of
     the hashed key, so entries orphaned by a code change sit in their own
     directory and are pruned on the first store into a new namespace
-    instead of accumulating forever.  An unwritable store (e.g. a
-    read-only shared mount) stops storing but keeps serving reads;
-    corrupt entries are dropped and recomputed.
+    instead of accumulating forever.
+
+    Robustness accounting (surfaced by :meth:`stats` and, through the
+    engine, in artifact metadata):
+
+    - entries carry a checksum footer by default (``checksum=True``), so
+      a torn write that still unpickles — truncation inside the footer
+      region — is detected, counted as a ``corrupt_drop`` and recomputed
+      rather than silently served;
+    - corrupt entries are dropped with a ``warnings.warn`` once per
+      store (not silently unlinked), and counted;
+    - a store that turns read-only mid-sweep (EROFS/EACCES/EPERM) warns
+      once, stops storing and keeps serving reads — the sweep degrades
+      to memory-only persistence instead of failing;
+    - unreadable entries (I/O errors other than not-found) count as
+      ``io_errors`` and read as misses, never as corruption.
     """
 
     def __init__(self, name: str, directory: Optional[os.PathLike] = None,
-                 namespace: str = "") -> None:
+                 namespace: str = "", checksum: bool = True) -> None:
         self.name = name
         base = Path(directory) if directory is not None else default_cache_dir()
         self._version_root = base / name / f"v{DISK_SCHEMA_VERSION}"
         self.directory = (self._version_root / namespace if namespace
                           else self._version_root)
+        self.checksum = checksum
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_drops = 0
+        self.write_failures = 0
+        self.io_errors = 0
         self._write_disabled = False
+        self._warned_corrupt = False
+        self._warned_readonly = False
         self._pruned = not namespace
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    def _encode(self, value) -> bytes:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if not self.checksum:
+            return payload
+        return (_CHECKSUM_MAGIC + payload
+                + hashlib.sha1(payload).digest())
+
+    def _decode(self, data: bytes):
+        if self.checksum:
+            if (not data.startswith(_CHECKSUM_MAGIC)
+                    or len(data) < len(_CHECKSUM_MAGIC) + _DIGEST_BYTES):
+                raise _CorruptEntry("missing or truncated checksum framing")
+            payload = data[len(_CHECKSUM_MAGIC):-_DIGEST_BYTES]
+            if hashlib.sha1(payload).digest() != data[-_DIGEST_BYTES:]:
+                raise _CorruptEntry("checksum mismatch (torn write)")
+        else:
+            payload = data
+        return pickle.loads(payload)
+
+    def _drop_corrupt(self, path: Path, reason: str) -> None:
+        self.corrupt_drops += 1
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"disk cache {self.name!r} dropped a corrupt entry "
+                f"({path.name}: {reason}); it will be recomputed. "
+                f"Further drops from this store are counted in stats() "
+                f"but not re-warned.", RuntimeWarning, stacklevel=4)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, key: str, default: Optional[T] = None) -> Optional[T]:
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            data = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return default
-        except Exception:  # corrupt/truncated entry: drop and recompute
+        except OSError:
+            # Unreadable store/entry (permissions, transient I/O): a
+            # miss, not corruption — nothing is unlinked.
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.io_errors += 1
+            return default
+        try:
+            value = self._decode(data)
+        except Exception as exc:  # torn/corrupt entry: drop and recompute
+            self.misses += 1
+            self._drop_corrupt(path, str(exc) or type(exc).__name__)
             return default
         self.hits += 1
         return value
@@ -342,28 +411,46 @@ class DiskCache:
     def put(self, key: str, value) -> None:
         """Persist one entry; a failed write never fails the caller.
 
-        An :class:`OSError` (read-only store) disables further writes;
-        any other failure (e.g. an unpicklable value) is per-entry and
-        leaves the store active.
+        An :class:`OSError` marking the store read-only
+        (EROFS/EACCES/EPERM) warns once and disables further writes —
+        the sweep degrades to memory-only persistence; any other failure
+        (e.g. an unpicklable value, ENOSPC) is per-entry and leaves the
+        store active.
         """
         if self._write_disabled:
             return
+        from .. import faults
+
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            injector = faults.active_injector()
+            if injector is not None:
+                injector.on_cache_write_start(key)
+            data = self._encode(value)
             self.directory.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp, path)
             self.stores += 1
+            if injector is not None:
+                injector.on_cache_written(path, key)
             self._prune_stale_namespaces()
         except Exception as exc:
             # Latch only for genuinely read-only stores; transient
             # failures (e.g. ENOSPC) and unpicklable values skip this
             # entry but keep the store active.
+            self.write_failures += 1
             if isinstance(exc, OSError) and exc.errno in (
                     errno.EROFS, errno.EACCES, errno.EPERM):
                 self._write_disabled = True
+                if not self._warned_readonly:
+                    self._warned_readonly = True
+                    warnings.warn(
+                        f"disk cache {self.name!r} at {self.directory} is "
+                        f"unwritable ({exc}); degrading to memory-only "
+                        f"persistence for the rest of this process",
+                        RuntimeWarning, stacklevel=3)
             try:
                 tmp.unlink()
             except OSError:
@@ -392,7 +479,9 @@ class DiskCache:
     def clear(self) -> None:
         shutil.rmtree(self.directory, ignore_errors=True)
         self.hits = self.misses = self.stores = 0
+        self.corrupt_drops = self.write_failures = self.io_errors = 0
         self._write_disabled = False
+        self._warned_corrupt = self._warned_readonly = False
 
     def stats(self) -> Dict[str, int]:
         try:
@@ -400,4 +489,6 @@ class DiskCache:
         except OSError:
             entries = 0
         return {"entries": entries, "hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+                "stores": self.stores, "corrupt_drops": self.corrupt_drops,
+                "write_failures": self.write_failures,
+                "io_errors": self.io_errors}

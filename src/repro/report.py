@@ -248,32 +248,87 @@ def _jsonable_params(params: Mapping) -> Dict[str, object]:
     return out
 
 
+def _env_fail_fast() -> bool:
+    import os
+
+    return os.environ.get("REPRO_FAIL_FAST", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def _failure_records(engine, failures) -> List[Dict[str, object]]:
+    """The artifact's ``errors`` metadata: one record per exhausted job."""
+    records = []
+    for failure in failures:
+        records.append({
+            "job": repr(failure.job),
+            "fingerprint": engine._safe_fingerprint(failure.job),
+            "error_type": failure.error_type,
+            "error": failure.error,
+            "attempts": failure.attempts,
+            "elapsed_s": round(failure.elapsed_s, 6),
+            "kind": failure.kind,
+        })
+    return records
+
+
 def run_experiment(name: str, engine=None, workers: Optional[int] = None,
-                   **params) -> Artifact:
+                   fail_fast: Optional[bool] = None, **params) -> Artifact:
     """Run a registered experiment and return its :class:`Artifact`.
 
     ``params`` override the spec's declared defaults; ``engine``
     defaults to the process-wide :func:`~repro.eval.engine.get_engine`.
     The artifact's ``value`` is bit-identical to what the legacy runner
     function returns (the shims call straight through here).
+
+    ``fail_fast`` controls what a job that exhausts its retry budget
+    does: ``True`` re-raises (after storing everything that completed);
+    ``False`` — the default, overridable via ``REPRO_FAIL_FAST`` —
+    degrades gracefully: the sweep finishes, the artifact carries the
+    rows that succeeded, and ``metadata["errors"]`` records each failed
+    job (fingerprint, exception, attempts, elapsed).  If the reducer
+    cannot digest a partial result set, ``value`` is ``None`` and the
+    rows are a generic tabulation of the successful jobs.
     """
     from .eval.engine import get_engine
     from .perf.cache import code_version
 
     spec: ExperimentSpec = get_experiment(name)
     engine = engine if engine is not None else get_engine()
+    if fail_fast is None:
+        fail_fast = _env_fail_fast()
     merged = spec.params_with_defaults(params)
 
     jobs = spec.build_jobs(**merged)
     executed_before = engine.executed_jobs
     trained_before = engine.executed_train_jobs
+    failed_before = len(engine.failures)
     started = time.perf_counter()
-    reports = engine.run(list(jobs.values()), workers=workers) if jobs else {}
-    keyed = {key: reports[job] for key, job in jobs.items()}
-    value = spec.reduce(keyed, **merged)
+    on_error = "raise" if fail_fast else "degrade"
+    reports = (engine.run(list(jobs.values()), workers=workers,
+                          on_error=on_error) if jobs else {})
+    failures = engine.failures[failed_before:]
+    keyed = {key: reports[job] for key, job in jobs.items()
+             if job in reports}
+    if failures:
+        try:
+            value = spec.reduce(keyed, **merged)
+        except Exception:
+            # The reducer indexes the full grid; fall back to a generic
+            # tabulation of whatever succeeded so the artifact still
+            # carries the partial rows.
+            value = None
+            table = tabulate_value({_key_str(k): v for k, v in keyed.items()})
+            if not table["columns"]:
+                # Every job failed: keep the artifact schema-valid with
+                # an empty-but-well-formed table.
+                table = {"columns": ["row", "value"], "rows": []}
+        else:
+            table = tabulate_value(value)
+    else:
+        value = spec.reduce(keyed, **merged)
+        table = tabulate_value(value)
     elapsed = time.perf_counter() - started
 
-    table = tabulate_value(value)
     metadata = {
         "description": spec.description,
         "params": _jsonable_params(merged),
@@ -282,16 +337,28 @@ def run_experiment(name: str, engine=None, workers: Optional[int] = None,
             "unique": len(set(jobs.values())),
             "executed": engine.executed_jobs - executed_before,
             "trained": engine.executed_train_jobs - trained_before,
+            "failed": len(failures),
         },
         "elapsed_s": elapsed,
         "source_digest": code_version(),
     }
+    if failures:
+        metadata["errors"] = _failure_records(engine, failures)
+    if engine.disk is not None:
+        metadata["cache"] = engine.disk.stats()
+    if engine.journal is not None:
+        metadata["run_id"] = engine.journal.run_id
+        engine.journal.record_experiment(
+            spec.name, executed=engine.executed_jobs - executed_before,
+            failed=len(failures))
     return Artifact(experiment=spec.name, columns=table["columns"],
                     rows=table["rows"], metadata=metadata, value=value)
 
 
 def run_suite_experiment(name: str, suite: str, engine=None,
-                         workers: Optional[int] = None, **params) -> Artifact:
+                         workers: Optional[int] = None,
+                         fail_fast: Optional[bool] = None,
+                         **params) -> Artifact:
     """Run an experiment with a registered suite bound to its suite
     parameter (the CLI's ``run <experiment> --suite <name>`` path)."""
     from .registry import get_suite
@@ -299,4 +366,5 @@ def run_suite_experiment(name: str, suite: str, engine=None,
     spec = get_experiment(name)
     suite_params = spec.suite_params(get_suite(suite))
     suite_params.update(params)
-    return run_experiment(name, engine=engine, workers=workers, **suite_params)
+    return run_experiment(name, engine=engine, workers=workers,
+                          fail_fast=fail_fast, **suite_params)

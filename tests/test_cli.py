@@ -109,3 +109,94 @@ class TestBenchForwarding:
             main(["bench", "--help"])
         assert exc.value.code == 0
         assert "Benchmark" in capsys.readouterr().out
+
+
+class TestRobustnessFlags:
+    """--retries/--timeout/--fail-fast/--run-id/--resume/--no-journal."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_job_env(self, monkeypatch):
+        """The CLI exports --retries/--timeout into os.environ for keeps
+        (workers must inherit them); setenv-then-delenv registers a
+        restore even for variables that start out unset."""
+        for var in ("REPRO_JOB_RETRIES", "REPRO_JOB_TIMEOUT"):
+            monkeypatch.setenv(var, "0")
+            monkeypatch.delenv(var)
+
+    def test_run_is_journaled_by_default(self, sweep_engine, capsys):
+        rc = main(["run", "stall_table", "--quiet",
+                   "--run-id", "cli-test-journaled"])
+        assert rc == 0
+        assert "resume with" in capsys.readouterr().out
+        from repro.eval.journal import RunJournal
+
+        journal = RunJournal.load("cli-test-journaled")
+        assert journal.complete
+        assert journal.spec["experiments"] == ["stall_table"]
+        assert len(journal.completed_jobs()) > 0
+        assert sweep_engine.journal is None  # detached after the run
+
+    def test_no_journal_opts_out(self, sweep_engine, capsys):
+        rc = main(["run", "stall_table", "--quiet", "--no-journal"])
+        assert rc == 0
+        assert "resume with" not in capsys.readouterr().out
+
+    def test_resume_executes_nothing_after_complete_run(self, sweep_engine,
+                                                        capsys):
+        assert main(["run", "stall_table", "--quiet",
+                     "--run-id", "cli-test-resume"]) == 0
+        executed_cold = sweep_engine.executed_jobs
+        assert executed_cold > 0
+        rc = main(["run", "--resume", "cli-test-resume", "--quiet"])
+        assert rc == 0
+        assert sweep_engine.executed_jobs == executed_cold
+
+    def test_resume_unknown_run_fails_cleanly(self, sweep_engine, capsys):
+        rc = main(["run", "--resume", "run-does-not-exist"])
+        assert rc == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_retries_and_timeout_export_env(self, sweep_engine, monkeypatch,
+                                            capsys):
+        import os
+
+        rc = main(["run", "stall_table", "--quiet", "--no-journal",
+                   "--retries", "2", "--timeout", "30"])
+        assert rc == 0
+        assert os.environ["REPRO_JOB_RETRIES"] == "2"
+        assert os.environ["REPRO_JOB_TIMEOUT"] == "30.0"
+
+    def test_exhausted_jobs_exit_one_with_error_report(self, sweep_engine,
+                                                       capsys):
+        from repro.faults import inject_faults
+
+        with inject_faults(raise_=1.0):
+            rc = main(["run", "stall_table", "--quiet", "--no-journal"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "InjectedFault" in err
+        assert "exhausted their retry budget" in err
+
+    def test_retries_recover_injected_faults(self, sweep_engine, capsys):
+        from repro.faults import inject_faults
+
+        with inject_faults(raise_=1.0):
+            rc = main(["run", "stall_table", "--quiet", "--no-journal",
+                       "--retries", "1"])
+        assert rc == 0
+
+    def test_fail_fast_raises_out_of_main(self, sweep_engine):
+        from repro.faults import InjectedFault, inject_faults
+
+        with inject_faults(raise_=1.0):
+            with pytest.raises(InjectedFault):
+                main(["run", "stall_table", "--quiet", "--no-journal",
+                      "--fail-fast"])
+
+    def test_list_runs(self, sweep_engine, capsys):
+        assert main(["run", "stall_table", "--quiet",
+                     "--run-id", "cli-test-list"]) == 0
+        capsys.readouterr()
+        assert main(["list", "runs"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test-list" in out and "complete" in out

@@ -172,7 +172,9 @@ class TestDiskCache:
         key = content_key("broken")
         cache.put(key, [1, 2, 3])
         cache._path(key).write_bytes(b"not a pickle")
-        assert cache.get_or_compute(key, lambda: "recomputed") == "recomputed"
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get_or_compute(key,
+                                        lambda: "recomputed") == "recomputed"
         assert cache.get(key) == "recomputed"
 
     def test_stale_namespace_pruned_on_store(self, tmp_path):
@@ -199,6 +201,128 @@ class TestDiskCache:
         cache.put(content_key("k"), 1)  # cannot mkdir below a file
         assert cache.get(content_key("k")) is None
         assert cache.get_or_compute(content_key("k"), lambda: 41 + 1) == 42
+        # Both puts (direct + get_or_compute's) failed and were counted.
+        assert cache.stats()["write_failures"] == 2
+
+    def test_checksum_footer_detects_truncated_write(self, tmp_path):
+        """Pickle ignores trailing bytes after the STOP opcode, so a torn
+        write truncated inside the footer region still unpickles — the
+        checksum footer is what catches it."""
+        import pickle
+
+        cache = DiskCache("unit", directory=tmp_path)
+        key = content_key("torn")
+        cache.put(key, {"rows": list(range(50))})
+        path = cache._path(key)
+        data = path.read_bytes()
+        truncated = data[:-7]  # lose the footer's tail, keep the payload
+        path.write_bytes(truncated)
+        # The raw payload inside the truncated file is still loadable
+        # pickle — without the checksum this would be served as a hit.
+        from repro.perf.cache import _CHECKSUM_MAGIC
+
+        assert pickle.loads(truncated[len(_CHECKSUM_MAGIC):]) \
+            == {"rows": list(range(50))}
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get(key) is None
+        assert cache.stats()["corrupt_drops"] == 1
+        assert not path.exists()  # dropped, so the next run recomputes
+
+    def test_corrupt_entries_warn_once_but_count_each(self, tmp_path):
+        import warnings as warnings_mod
+
+        cache = DiskCache("unit", directory=tmp_path)
+        for i in range(3):
+            cache.put(content_key("e", i), i)
+            cache._path(content_key("e", i)).write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get(content_key("e", 0)) is None
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert cache.get(content_key("e", 1)) is None
+            assert cache.get(content_key("e", 2)) is None
+        assert cache.stats()["corrupt_drops"] == 3
+
+    def test_checksum_off_round_trips_plain_pickle(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path, checksum=False)
+        key = content_key("plain")
+        cache.put(key, (1, 2))
+        assert cache.get(key) == (1, 2)
+        import pickle
+
+        assert pickle.loads(cache._path(key).read_bytes()) == (1, 2)
+
+    def test_stats_carry_robustness_counters(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        assert set(cache.stats()) == {"entries", "hits", "misses", "stores",
+                                      "corrupt_drops", "write_failures",
+                                      "io_errors"}
+
+
+class TestCacheRaces:
+    """Concurrent-writer and mid-sweep degradation races."""
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Two processes storing the same key concurrently: the survivor
+        is one complete entry, never a torn interleaving."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        ctx = multiprocessing.get_context("fork")
+        key = content_key("contested")
+
+        def writer(value):
+            cache = DiskCache("unit", directory=tmp_path)
+            for _ in range(25):
+                cache.put(key, value)
+
+        procs = [ctx.Process(target=writer, args=(["a"] * 100,)),
+                 ctx.Process(target=writer, args=(["b"] * 100,))]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in procs)
+        reader = DiskCache("unit", directory=tmp_path)
+        value = reader.get(key)
+        assert value in (["a"] * 100, ["b"] * 100)
+        assert reader.stats()["corrupt_drops"] == 0
+        assert not list(reader.directory.glob("*.tmp.*"))
+
+    def test_reader_hitting_half_replaced_entry(self, tmp_path):
+        """A reader that catches a partially-written entry (torn short
+        of the checksum) treats it as corrupt, not as a result."""
+        cache = DiskCache("unit", directory=tmp_path)
+        key = content_key("half")
+        cache.put(key, list(range(100)))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get_or_compute(key, lambda: "fresh") == "fresh"
+        assert cache.get(key) == "fresh"
+
+    def test_readonly_cache_dir_mid_sweep_degrades_once(self, tmp_path):
+        """A store that turns read-only mid-sweep (injected: the test
+        runs as root, where chmod cannot produce EACCES) warns exactly
+        once and keeps the sweep running memory-only."""
+        import warnings as warnings_mod
+
+        from repro.faults import inject_faults
+
+        cache = DiskCache("unit", directory=tmp_path)
+        cache.put(content_key("before"), 1)  # store starts healthy
+        with inject_faults(cache_readonly=1.0):
+            with pytest.warns(RuntimeWarning, match="memory-only"):
+                cache.put(content_key("during", 0), 2)
+            with warnings_mod.catch_warnings():
+                warnings_mod.simplefilter("error")
+                cache.put(content_key("during", 1), 3)  # silent no-op
+        assert cache.get(content_key("before")) == 1  # reads still serve
+        assert cache.get(content_key("during", 0)) is None
+        assert cache._write_disabled
+        # Only the latching put counts; later puts are skipped outright.
+        assert cache.stats()["write_failures"] == 1
 
 
 class TestChunkSplitting:
@@ -235,6 +359,85 @@ class TestChunkSplitting:
         assert get_dataset("cora").size_hint == 2708
         assert get_dataset("powerlaw-500k").size_hint == 500_000
         assert get_dataset("reddit").size_hint > 0
+
+
+class TestSupervisionPolicy:
+    """Engine-level retry/timeout/degrade plumbing (the chaos suite in
+    ``test_chaos.py`` exercises the full fault matrix)."""
+
+    def test_policy_defaults_come_from_env(self, tmp_path, monkeypatch):
+        engine = SweepEngine(workers=0, cache_dir=tmp_path)
+        assert (engine.retries, engine.timeout, engine.backoff) \
+            == (0, 0.0, 0.05)
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "3")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_JOB_BACKOFF", "0.5")
+        assert (engine.retries, engine.timeout, engine.backoff) \
+            == (3, 12.5, 0.5)
+        pinned = SweepEngine(workers=0, cache_dir=tmp_path, retries=1,
+                             timeout=2.0, backoff=0.1)
+        assert (pinned.retries, pinned.timeout, pinned.backoff) \
+            == (1, 2.0, 0.1)
+
+    def test_bad_on_error_rejected(self, tmp_path):
+        engine = SweepEngine(workers=0, cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="on_error"):
+            engine.run([], on_error="explode")
+
+    def test_degrade_returns_partial_results(self, tmp_path):
+        from repro.faults import inject_faults
+
+        engine = SweepEngine(workers=0, cache_dir=tmp_path)
+        jobs = [SimJob.from_call(acc, "cora", "gcn")
+                for acc in ("hygcn", "gcnax", "mega")]
+        with inject_faults(raise_=0.5, seed=1) as injector:
+            doomed = [j for j in jobs
+                      if injector.plan.decide("raise", repr(j))]
+            assert 0 < len(doomed) < len(jobs)  # seed picked a real split
+            results = engine.run(jobs, on_error="degrade")
+        assert set(results) == set(jobs) - set(doomed)
+        assert {f.job for f in engine.failures} == set(doomed)
+        assert engine.executed_jobs == len(jobs) - len(doomed)
+        assert engine.stats()["executed"]["failed_jobs"] == len(doomed)
+        engine.clear_memory()
+        assert engine.failures == []
+
+    def test_retries_recover_and_count_one_execution(self, tmp_path):
+        from repro.faults import inject_faults
+
+        engine = SweepEngine(workers=0, cache_dir=tmp_path, retries=1,
+                             backoff=0.0)
+        job = SimJob.from_call("mega", "cora", "gcn")
+        with inject_faults(raise_=1.0):
+            results = engine.run([job])
+        assert job in results
+        assert engine.executed_jobs == 1  # the success, not the attempts
+        assert engine.failures == []
+
+    def test_raise_mode_stores_completed_prefix(self, tmp_path):
+        """Fail-fast still checkpoints: jobs that completed before the
+        failure are on disk, so a rerun executes only what never ran."""
+        from repro.faults import FaultPlan, InjectedFault, inject_faults
+
+        engine = SweepEngine(workers=0, cache_dir=tmp_path)
+        jobs = [SimJob.from_call(acc, "cora", "gcn")
+                for acc in ("hygcn", "gcnax", "mega")]
+        # Pick a (deterministic) seed whose first victim is mid-batch,
+        # so there is a completed prefix to checkpoint.
+        for seed in range(64):
+            plan = FaultPlan(rates=(("raise", 0.5),), seed=seed)
+            doomed = [i for i, j in enumerate(jobs)
+                      if plan.decide("raise", repr(j))]
+            if doomed and doomed[0] > 0:
+                break
+        else:
+            pytest.fail("no seed with a mid-batch first victim")
+        with inject_faults(raise_=0.5, seed=seed):
+            with pytest.raises(InjectedFault):
+                engine.run(jobs)
+        rerun = SweepEngine(workers=0, cache_dir=tmp_path)
+        rerun.run(jobs)
+        assert rerun.executed_jobs == len(jobs) - doomed[0]
 
 
 def test_default_engine_is_shared():

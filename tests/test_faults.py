@@ -1,0 +1,120 @@
+"""The deterministic fault-injection harness (:mod:`repro.faults`)."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import (FAULT_KINDS, FaultInjector, FaultPlan,
+                         InjectedFault, active_injector, inject_faults,
+                         parse_fault_spec)
+
+
+class TestFaultPlan:
+    def test_parse_round_trips_through_spec(self):
+        plan = parse_fault_spec("kill=0.2,corrupt_cache=1:1,raise=0.5", seed=7)
+        assert plan.rate("kill") == 0.2
+        assert plan.rate("corrupt_cache") == 1.0
+        assert plan.cap("corrupt_cache") == 1
+        assert plan.cap("kill") is None
+        assert plan.seed == 7
+        assert parse_fault_spec(plan.spec(), seed=7) == plan
+
+    def test_parse_rejects_unknown_kind_and_bad_rate(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_spec("explode=1.0")
+        with pytest.raises(ValueError, match="bad fault spec"):
+            parse_fault_spec("kill=lots")
+
+    def test_decide_is_deterministic_and_seeded(self):
+        plan = FaultPlan(rates=(("raise", 0.5),), seed=3)
+        tokens = [f"job-{i}" for i in range(200)]
+        first = [plan.decide("raise", t) for t in tokens]
+        assert first == [plan.decide("raise", t) for t in tokens]
+        # Roughly half fire, and a different seed picks different victims.
+        assert 50 < sum(first) < 150
+        other = FaultPlan(rates=(("raise", 0.5),), seed=4)
+        assert first != [other.decide("raise", t) for t in tokens]
+
+    def test_rate_extremes(self):
+        plan = FaultPlan(rates=(("raise", 1.0), ("kill", 0.0)), seed=0)
+        assert all(plan.decide("raise", f"t{i}") for i in range(20))
+        assert not any(plan.decide("kill", f"t{i}") for i in range(20))
+
+
+class TestFaultInjector:
+    def test_cap_bounds_firings(self):
+        injector = FaultInjector(parse_fault_spec("raise=1:2"))
+        fired = [injector.should_fire("raise", f"t{i}") for i in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert injector.fired["raise"] == 2
+
+    def test_on_job_fires_only_on_first_attempt(self):
+        injector = FaultInjector(parse_fault_spec("raise=1"))
+        with pytest.raises(InjectedFault):
+            injector.on_job("job", attempt=0)
+        injector.on_job("job", attempt=1)  # retries converge
+
+    def test_kill_downgrades_to_raise_outside_worker(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_WORKER, raising=False)
+        injector = FaultInjector(parse_fault_spec("kill=1"))
+        with pytest.raises(InjectedFault, match="downgraded"):
+            injector.on_job("job", attempt=0)
+
+    def test_hang_downgrades_to_raise_without_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        injector = FaultInjector(parse_fault_spec("hang=1"))
+        with pytest.raises(InjectedFault, match="no REPRO_JOB_TIMEOUT"):
+            injector.on_job("job", attempt=0)
+
+    def test_cache_readonly_raises_permission_error(self):
+        injector = FaultInjector(parse_fault_spec("cache_readonly=1"))
+        with pytest.raises(PermissionError):
+            injector.on_cache_write_start("some-key")
+
+    def test_corrupt_cache_truncates_the_entry(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"x" * 100)
+        injector = FaultInjector(parse_fault_spec("corrupt_cache=1"))
+        injector.on_cache_written(path, "some-key")
+        assert path.stat().st_size == 50
+
+
+class TestActivation:
+    def test_inactive_without_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        assert active_injector() is None
+
+    def test_context_manager_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        with inject_faults(raise_=1.0, seed=5) as injector:
+            assert os.environ[faults.ENV_SPEC] == "raise=1"
+            assert os.environ[faults.ENV_SEED] == "5"
+            assert active_injector() is injector
+            assert injector.plan.seed == 5
+        assert faults.ENV_SPEC not in os.environ
+        assert active_injector() is None
+
+    def test_context_manager_tuple_sets_cap(self):
+        with inject_faults(corrupt_cache=(1.0, 2)) as injector:
+            assert injector.plan.cap("corrupt_cache") == 2
+
+    def test_spec_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            with inject_faults("raise=1", kill=0.5):
+                pass
+
+    def test_injector_persists_per_env_key(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "raise=1:1")
+        monkeypatch.setenv(faults.ENV_SEED, "0")
+        first = active_injector()
+        assert first.should_fire("raise", "t")
+        # Same env: same instance, so the cap survives repeated lookups.
+        assert active_injector() is first
+        monkeypatch.setenv(faults.ENV_SEED, "1")
+        assert active_injector() is not first
+
+    def test_all_kinds_parse(self):
+        spec = ",".join(f"{kind}=0.1" for kind in FAULT_KINDS)
+        plan = parse_fault_spec(spec)
+        assert {kind for kind, _ in plan.rates} == set(FAULT_KINDS)

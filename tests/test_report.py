@@ -237,3 +237,71 @@ class TestArtifact:
         assert [r["row"] for r in artifact.rows] == ["cora", "citeseer"]
         with pytest.raises(Exception, match="not suite-parameterized"):
             run_suite_experiment("ablation_fig19", "smoke")
+
+
+class TestDegradedArtifacts:
+    """Partial-result artifacts: the errors schema and fail-fast mode."""
+
+    def test_degrade_records_structured_errors(self, sweep_engine):
+        from repro.faults import inject_faults
+
+        with inject_faults(raise_=1.0):
+            artifact = run_experiment("stall_table", datasets=("cora",),
+                                      fail_fast=False)
+        jobs = artifact.metadata["jobs"]
+        assert jobs["failed"] > 0 and jobs["executed"] == 0
+        assert artifact.value is None  # reducer cannot digest zero rows
+        errors = artifact.metadata["errors"]
+        assert len(errors) == jobs["failed"]
+        for error in errors:
+            assert set(error) == {"job", "fingerprint", "error_type",
+                                  "error", "attempts", "elapsed_s", "kind"}
+            assert error["error_type"] == "InjectedFault"
+            assert error["attempts"] == 1
+        # Degraded artifacts still serialize through the schema.
+        validate_artifact_dict(artifact.to_dict())
+
+    def test_partial_failure_keeps_successful_rows(self, sweep_engine):
+        from repro.faults import FaultPlan, inject_faults
+
+        datasets = ("cora", "citeseer")
+        # A seed whose victims are a strict subset of the stall_table jobs.
+        from repro.registry import get_experiment
+
+        spec = get_experiment("stall_table")
+        jobs = spec.build_jobs(
+            **spec.params_with_defaults({"datasets": datasets}))
+        for seed in range(64):
+            plan = FaultPlan(rates=(("raise", 0.5),), seed=seed)
+            doomed = [j for j in jobs.values()
+                      if plan.decide("raise", repr(j))]
+            if 0 < len(doomed) < len(jobs):
+                break
+        with inject_faults(raise_=0.5, seed=seed):
+            artifact = run_experiment("stall_table", datasets=datasets,
+                                      fail_fast=False)
+        assert artifact.metadata["jobs"]["failed"] == len(doomed)
+        assert artifact.rows  # the surviving jobs still tabulate
+        validate_artifact_dict(artifact.to_dict())
+
+    def test_fail_fast_true_reraises(self, sweep_engine):
+        from repro.faults import InjectedFault, inject_faults
+
+        with inject_faults(raise_=1.0):
+            with pytest.raises(InjectedFault):
+                run_experiment("stall_table", datasets=("cora",),
+                               fail_fast=True)
+
+    def test_fail_fast_default_from_env(self, sweep_engine, monkeypatch):
+        from repro.faults import InjectedFault, inject_faults
+
+        monkeypatch.setenv("REPRO_FAIL_FAST", "1")
+        with inject_faults(raise_=1.0):
+            with pytest.raises(InjectedFault):
+                run_experiment("stall_table", datasets=("cora",))
+
+    def test_clean_run_has_no_errors_section(self, sweep_engine):
+        artifact = run_experiment("stall_table", datasets=("cora",))
+        assert "errors" not in artifact.metadata
+        assert artifact.metadata["jobs"]["failed"] == 0
+        assert "corrupt_drops" in artifact.metadata["cache"]
