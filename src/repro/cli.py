@@ -160,7 +160,8 @@ def _resume_args(args: argparse.Namespace, spec: dict) -> None:
     values, so ``--resume <id> --workers 8`` re-runs the same spec with
     a bigger pool.
     """
-    args.experiments = list(spec.get("experiments", []))
+    if not args.experiments:
+        args.experiments = list(spec.get("experiments", []))
     if args.suite is None:
         args.suite = spec.get("suite")
     if args.workers is None:
@@ -183,6 +184,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except FileNotFoundError:
             print(f"error: no journal for run {args.resume!r} "
                   f"(see `python -m repro list runs`)", file=sys.stderr)
+            return 2
+        if not journal.has_run_header:
+            # A torn/lost first line means the run-spec is gone; running
+            # the default smoke set under this id would silently journal
+            # the wrong run.
+            print(f"error: journal for run {args.resume!r} has no run-spec "
+                  f"header (first line torn or corrupt); cannot resume",
+                  file=sys.stderr)
             return 2
         _resume_args(args, journal.spec)
         journal.record_event("resumed")

@@ -141,6 +141,16 @@ class RunJournal:
 
     # -- queries -----------------------------------------------------------
     @property
+    def has_run_header(self) -> bool:
+        """Whether the run-spec header record survived on disk.
+
+        False means the journal's first line was torn or corrupted —
+        the run's recipe is unrecoverable and resuming by id would
+        silently run the wrong spec.
+        """
+        return any(r.get("type") == "run" for r in self._records)
+
+    @property
     def spec(self) -> Dict:
         for record in self._records:
             if record.get("type") == "run":

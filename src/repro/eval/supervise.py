@@ -213,6 +213,8 @@ class _Running:
     task: _Task
     reported: int = 0                      # jobs acknowledged (ok or err)
     deadline: Optional[float] = None       # watchdog cutoff for current job
+    # Start of the current in-flight job: reset as each job's message
+    # is drained, so elapsed figures are per-job, not per-chunk.
     started: float = field(default_factory=time.perf_counter)
     done: bool = False                     # saw "bye"
 
@@ -279,6 +281,11 @@ class Supervisor:
                 self._pump(pending, running, failures, on_result)
                 if fail_fast and failures and abort is None:
                     abort = failures[0]
+                if abort is not None:
+                    # _drain/_reap requeue retries and rest-of-chunk
+                    # tasks even while aborting; drop them every
+                    # iteration or `while pending` spins forever once
+                    # the workers are gone.
                     pending.clear()
         finally:
             for run in running.values():
@@ -416,6 +423,20 @@ class Supervisor:
                 message = run.conn.recv()
             except (EOFError, OSError):
                 return
+            except Exception as exc:
+                # The worker pickled something the parent cannot
+                # unpickle (e.g. an Exception subclass whose __init__
+                # needs extra args).  recv() consumed the bytes, and
+                # messages arrive in job order, so the undecodable one
+                # belongs to the first unreported job.
+                idx = run.reported
+                if idx >= len(run.task.jobs):
+                    run.done = True
+                    return
+                message = ("err", idx, _TextError(
+                    type(exc).__name__,
+                    f"worker message could not be decoded: {exc}",
+                    traceback.format_exc()))
             tag = message[0]
             if tag == "bye":
                 run.done = True
@@ -425,7 +446,9 @@ class Supervisor:
             attempt = run.task.attempts[idx]
             run.reported = idx + 1
             run.deadline = self._new_deadline()
-            elapsed = time.perf_counter() - run.started
+            now = time.perf_counter()
+            elapsed = now - run.started
+            run.started = now          # per-job clock, not chunk clock
             if tag == "ok":
                 self.used_processes = True
                 on_result(job, payload, attempt + 1, elapsed)

@@ -248,11 +248,14 @@ def _jsonable_params(params: Mapping) -> Dict[str, object]:
     return out
 
 
-def _env_fail_fast() -> bool:
+def _env_fail_fast() -> Optional[bool]:
+    """``REPRO_FAIL_FAST`` as a tri-state: None when unset/empty."""
     import os
 
-    return os.environ.get("REPRO_FAIL_FAST", "").strip().lower() in (
-        "1", "true", "yes", "on")
+    raw = os.environ.get("REPRO_FAIL_FAST", "").strip().lower()
+    if not raw:
+        return None
+    return raw in ("1", "true", "yes", "on")
 
 
 def _failure_records(engine, failures) -> List[Dict[str, object]]:
@@ -281,13 +284,17 @@ def run_experiment(name: str, engine=None, workers: Optional[int] = None,
     function returns (the shims call straight through here).
 
     ``fail_fast`` controls what a job that exhausts its retry budget
-    does: ``True`` re-raises (after storing everything that completed);
-    ``False`` — the default, overridable via ``REPRO_FAIL_FAST`` —
-    degrades gracefully: the sweep finishes, the artifact carries the
-    rows that succeeded, and ``metadata["errors"]`` records each failed
-    job (fingerprint, exception, attempts, elapsed).  If the reducer
-    cannot digest a partial result set, ``value`` is ``None`` and the
-    rows are a generic tabulation of the successful jobs.
+    does.  ``True`` — the library default, matching what the legacy
+    runner functions always did — re-raises the original exception
+    (after storing everything that completed).  ``False`` degrades
+    gracefully: the sweep finishes, the artifact carries the rows that
+    succeeded, and ``metadata["errors"]`` records each failed job
+    (fingerprint, exception, attempts, elapsed); if the reducer cannot
+    digest a partial result set, ``value`` is ``None`` and the rows are
+    a generic tabulation of the successful jobs.  The CLI passes
+    ``fail_fast=False`` explicitly, so ``repro run`` degrades unless
+    ``--fail-fast`` is given; ``REPRO_FAIL_FAST=0/1`` overrides the
+    default when ``fail_fast`` is not passed.
     """
     from .eval.engine import get_engine
     from .perf.cache import code_version
@@ -295,7 +302,8 @@ def run_experiment(name: str, engine=None, workers: Optional[int] = None,
     spec: ExperimentSpec = get_experiment(name)
     engine = engine if engine is not None else get_engine()
     if fail_fast is None:
-        fail_fast = _env_fail_fast()
+        env = _env_fail_fast()
+        fail_fast = True if env is None else env
     merged = spec.params_with_defaults(params)
 
     jobs = spec.build_jobs(**merged)

@@ -156,6 +156,39 @@ class TestRobustnessFlags:
         assert rc == 2
         assert "no journal" in capsys.readouterr().err
 
+    def test_resume_refuses_headerless_journal(self, sweep_engine, capsys):
+        """A journal that lost its run-spec header (torn first line)
+        must not resume — it would silently run the default smoke set
+        under the old run id."""
+        from repro.eval.journal import RunJournal
+
+        assert main(["run", "stall_table", "--quiet",
+                     "--run-id", "cli-test-torn"]) == 0
+        journal = RunJournal.load("cli-test-torn")
+        body = journal.path.read_text().splitlines()[1:]  # drop the header
+        journal.path.write_text("\n".join(body) + "\n")
+        capsys.readouterr()
+        rc = main(["run", "--resume", "cli-test-torn"])
+        assert rc == 2
+        assert "no run-spec header" in capsys.readouterr().err
+
+    def test_resume_args_explicit_experiments_win(self):
+        import argparse
+
+        from repro.cli import _resume_args
+
+        args = argparse.Namespace(experiments=["ablation_fig19"], suite=None,
+                                  workers=None, retries=None, timeout=None,
+                                  fail_fast=False)
+        _resume_args(args, {"experiments": ["stall_table"], "suite": "quick",
+                            "workers": 4})
+        assert args.experiments == ["ablation_fig19"]  # explicit wins
+        assert args.suite == "quick"
+        assert args.workers == 4
+        args.experiments = []
+        _resume_args(args, {"experiments": ["stall_table"]})
+        assert args.experiments == ["stall_table"]
+
     def test_retries_and_timeout_export_env(self, sweep_engine, monkeypatch,
                                             capsys):
         import os

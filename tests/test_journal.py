@@ -40,6 +40,18 @@ class TestRunJournal:
         assert loaded.completed_jobs() == {"fp-1"}
         assert not loaded.complete
 
+    def test_torn_header_line_loses_run_header(self, tmp_path):
+        """A journal whose only line (the run-spec header) is torn loads
+        with ``has_run_header`` False — the resume path refuses it
+        instead of silently running the default spec."""
+        journal = RunJournal.create(spec={"experiments": ["stall_table"]},
+                                    directory=tmp_path)
+        assert journal.has_run_header
+        journal.path.write_text('{"type": "run", "spec": {"experi')
+        loaded = RunJournal.load(journal.run_id, directory=tmp_path)
+        assert not loaded.has_run_header
+        assert loaded.spec == {}
+
     def test_mid_file_corruption_raises(self, tmp_path):
         journal = RunJournal.create(spec={}, directory=tmp_path)
         lines = journal.path.read_text().splitlines()

@@ -27,11 +27,35 @@ def _flaky_execute(job, attempt):
     tag, _ = job
     if tag.startswith("die") and attempt == 0:
         os.kill(os.getpid(), signal.SIGKILL)
+    if tag.startswith("slow-die") and attempt == 0:
+        time.sleep(0.5)
+        os.kill(os.getpid(), signal.SIGKILL)
     if tag.startswith("fail") and attempt == 0:
         raise ValueError(f"flaky failure for {tag}")
     if tag.startswith("always-fail"):
         raise ValueError(f"permanent failure for {tag}")
     return tag
+
+
+class _UnpicklableError(Exception):
+    """Pickles in the worker but cannot unpickle in the parent: args
+    holds one string, so the reconstructor calls ``__init__`` with one
+    argument and TypeErrors."""
+
+    def __init__(self, a, b):
+        super().__init__(f"{a}:{b}")
+
+
+def _raise_unpicklable(job, attempt):
+    raise _UnpicklableError("boom", job[0])
+
+
+def _slow_ok_then_instant_fail(job, attempt):
+    tag, _ = job
+    if tag == "slow-ok":
+        time.sleep(0.4)
+        return tag
+    raise ValueError(f"instant failure for {tag}")
 
 
 def _stubborn_hang(job, attempt):
@@ -209,6 +233,54 @@ class TestSupervisor:
         assert len(failures) == 1
         assert failures[0].kind == "timeout"
         assert failures[0].error_type == "JobTimeout"
+
+    def test_fail_fast_abort_drops_requeued_tasks(self, tmp_path):
+        """The fail-fast hang regression: a worker dying after the abort
+        requeues its rest-of-chunk into ``pending``; unless those tasks
+        are dropped the supervision loop spins forever with no workers
+        left to run them."""
+        import threading
+
+        sup = Supervisor(workers=2, execute=_flaky_execute, retries=0)
+        outcome = {}
+
+        def run():
+            try:
+                sup.run([[("always-fail", str(tmp_path))],
+                         [("slow-die", str(tmp_path)), ("c", str(tmp_path))]],
+                        lambda *a: None)
+            except Exception as exc:
+                outcome["exc"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "fail-fast supervision hung"
+        assert isinstance(outcome.get("exc"), ValueError)
+
+    def test_undecodable_worker_exception_becomes_failure(self, tmp_path):
+        """An exception that pickles in the worker but fails to unpickle
+        in the parent degrades into a JobFailure (and still burns retry
+        attempts) instead of aborting the whole sweep."""
+        sup = Supervisor(workers=1, execute=_raise_unpicklable, retries=1,
+                         backoff=0.0)
+        failures = sup.run([[("bad", str(tmp_path))]], lambda *a: None,
+                           fail_fast=False)
+        assert len(failures) == 1
+        assert failures[0].kind == "error"
+        assert failures[0].attempts == 2
+        assert "could not be decoded" in failures[0].error
+
+    def test_failure_elapsed_is_per_job_not_per_chunk(self, tmp_path):
+        sup = Supervisor(workers=1, execute=_slow_ok_then_instant_fail)
+        failures = sup.run(
+            [[("slow-ok", str(tmp_path)), ("quick-fail", str(tmp_path))]],
+            lambda *a: None, fail_fast=False)
+        assert len(failures) == 1
+        assert failures[0].job[0] == "quick-fail"
+        # Before the per-job clock this reported the cumulative chunk
+        # time (>= the 0.4s the first job slept).
+        assert failures[0].elapsed_s < 0.3
 
     def test_serial_fallback_without_fork(self, tmp_path):
         sup = Supervisor(workers=2, execute=_flaky_execute)
