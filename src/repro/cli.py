@@ -10,7 +10,15 @@ Subcommands:
   smoke experiment.  ``--suite`` re-points suite-parameterized specs at
   a registered workload suite;
 - ``bench`` — the hot-kernel + end-to-end sweep benchmark (forwards to
-  :mod:`repro.perf.bench`, which remains importable directly).
+  :mod:`repro.perf.bench`, which remains importable directly);
+- ``serve`` — the long-running sweep service (:mod:`repro.serve`):
+  keeps the engine's caches hot, accepts experiment requests over
+  HTTP with admission control and per-request deadlines, drains
+  gracefully on SIGTERM and re-adopts unfinished journaled runs on
+  restart;
+- ``submit`` — client for a running ``serve`` daemon
+  (:mod:`repro.client`): bounded retries with jittered backoff,
+  honors the server's ``Retry-After`` backpressure hints.
 
 Examples::
 
@@ -20,6 +28,9 @@ Examples::
     python -m repro run stall_table --suite scale-sweep-10k
     python -m repro run stall_table --retries 3 --timeout 120
     python -m repro run --resume run-20260808-120000-abc123
+    python -m repro list runs --gc --keep-days 7
+    python -m repro serve --port 0 --port-file /tmp/repro.port
+    python -m repro submit stall_table --suite quick --url 127.0.0.1:8642
     python -m repro bench --quick
 
 Scale-scenario sweeps resolve through the same cached engine as every
@@ -31,7 +42,10 @@ Every ``run`` is journaled by default (``--no-journal`` opts out): the
 run's spec and every completed job land in an append-only JSONL file
 under the cache directory, so an interrupted sweep — SIGKILL included —
 resumes with ``run --resume <run-id>``, re-executing only the jobs that
-never finished (completed jobs replay from the disk cache).  Jobs that
+never finished (completed jobs replay from the disk cache).  SIGINT and
+SIGTERM mid-sweep are caught: the journal is marked ``interrupted``
+(still resumable), a resume hint is printed, and the exit code is 130.
+Jobs that
 exhaust ``--retries`` degrade into the artifact's ``errors`` metadata
 and exit code 1; ``--fail-fast`` restores raise-on-first-error.
 """
@@ -61,6 +75,15 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("what", nargs="?", default="all",
                         choices=("all", "accelerators", "datasets", "suites",
                                  "experiments", "runs"))
+    list_p.add_argument("--gc", action="store_true",
+                        help="with `list runs`: prune completed (fully "
+                             "journaled) runs instead of listing")
+    list_p.add_argument("--keep-days", type=float, default=None, metavar="N",
+                        help="with --gc: keep completed runs newer than N "
+                             "days (default: prune every completed run)")
+    list_p.add_argument("--force", action="store_true",
+                        help="with --gc: also prune resumable and unreadable "
+                             "runs (their checkpoints are lost)")
 
     run_p = sub.add_parser(
         "run", help="run experiments and write schema'd artifacts")
@@ -102,6 +125,67 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="do not journal this run (it cannot be resumed "
                             "by id)")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived sweep service (HTTP job queue "
+                      "over the cached engine)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="listen port; 0 picks an ephemeral port "
+                              "(write it with --port-file)")
+    serve_p.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port number to this file "
+                              "once listening")
+    serve_p.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                         help="admission limit before 429 (default: "
+                              "REPRO_SERVE_QUEUE_DEPTH or 32)")
+    serve_p.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="default per-request deadline in seconds "
+                              "(default: REPRO_SERVE_DEADLINE or none)")
+    serve_p.add_argument("--drain-grace", type=float, default=None,
+                         metavar="S",
+                         help="max seconds to wait for in-flight runs on "
+                              "SIGTERM (default: REPRO_SERVE_DRAIN_GRACE "
+                              "or 30)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes for cold job batches")
+    serve_p.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="per-job retry budget (exported as "
+                              "REPRO_JOB_RETRIES)")
+    serve_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-job deadline (exported as "
+                              "REPRO_JOB_TIMEOUT)")
+    serve_p.add_argument("--no-recover", action="store_true",
+                         help="skip re-adopting unfinished journaled runs "
+                              "on boot")
+    serve_p.add_argument("--no-journal", action="store_true",
+                         help="do not journal served runs (they cannot be "
+                              "recovered after a crash)")
+    serve_p.add_argument("--quiet", action="store_true",
+                         help="suppress the server's progress lines")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one experiment request to a running serve "
+                       "daemon")
+    submit_p.add_argument("experiment")
+    submit_p.add_argument("--suite", default=None)
+    submit_p.add_argument("--url", default=None,
+                          help="server base URL (default: REPRO_SERVE_URL "
+                               "or http://127.0.0.1:8642)")
+    submit_p.add_argument("--deadline", type=float, default=None, metavar="S",
+                          help="per-request deadline; on expiry the server "
+                               "answers with a degrade-mode artifact")
+    submit_p.add_argument("--client-retries", type=int, default=None,
+                          metavar="N",
+                          help="client retry budget (default: "
+                               "REPRO_CLIENT_RETRIES or 4)")
+    submit_p.add_argument("--out", default=None, metavar="DIR",
+                          help="directory to write the artifact into")
+    submit_p.add_argument("--formats", default="json",
+                          help="comma-separated artifact formats for --out: "
+                               "json,csv,md (default: json)")
+    submit_p.add_argument("--quiet", action="store_true",
+                          help="suppress the markdown table printout")
+
     sub.add_parser(
         "bench", add_help=False,
         help="hot-kernel + sweep benchmarks (see `python -m repro bench "
@@ -109,10 +193,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(what: str) -> int:
+def _cmd_list(what: str, args: Optional[argparse.Namespace] = None) -> int:
+    if args is not None and args.gc and what != "runs":
+        print("error: --gc applies to `list runs` only", file=sys.stderr)
+        return 2
     if what == "runs":
-        from .eval.journal import RunJournal, list_runs
+        from .eval.journal import RunJournal, gc_runs, list_runs
 
+        if args is not None and args.gc:
+            outcome = gc_runs(keep_days=args.keep_days, force=args.force)
+            for run_id in outcome["removed"]:
+                print(f"removed {run_id}")
+            skipped = len(outcome["kept"])
+            print(f"gc: removed {len(outcome['removed'])} run(s), "
+                  f"kept {skipped}"
+                  + ("" if args.force or not skipped else
+                     " (resumable/unreadable runs need --force)"))
+            return 0
         runs = list_runs()
         print(f"journaled runs ({len(runs)}):")
         for run_id in runs:
@@ -230,6 +327,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     previous_journal = engine.journal
     engine.journal = journal
     failed_jobs = 0
+    interrupted = False
+    # Turn SIGTERM into KeyboardInterrupt so both interruption signals
+    # take the same graceful path: journal marked, resume hint printed,
+    # exit 130.  signal.signal raises off the main thread; then the
+    # default (SIGINT-only) behavior stands.
+    import signal as signal_module
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal_module.signal(signal_module.SIGTERM,
+                                                _interrupt)
+    except (ValueError, OSError):
+        pass
     try:
         for name in names:
             spec = get_experiment(name)
@@ -266,8 +379,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.out:
                 for path in artifact.save(args.out, formats=formats):
                     print(f"wrote {path}")
+    except KeyboardInterrupt:
+        interrupted = True
     finally:
         engine.journal = previous_journal
+        if previous_sigterm is not None:
+            try:
+                signal_module.signal(signal_module.SIGTERM, previous_sigterm)
+            except (ValueError, OSError):
+                pass
+    if interrupted:
+        if journal is not None:
+            journal.record_event("interrupted")
+            print(f"interrupted: completed jobs are journaled; resume with "
+                  f"`python -m repro run --resume {journal.run_id}`",
+                  file=sys.stderr)
+        else:
+            print("interrupted (run was not journaled; it cannot be resumed "
+                  "by id)", file=sys.stderr)
+        return 130
     if journal is not None and not failed_jobs:
         journal.record_event("run-complete")
     if failed_jobs:
@@ -276,6 +406,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .serve import ReproServer, ServeConfig
+
+    _apply_run_env(args)  # --retries/--timeout become the engine's knobs
+    config = ServeConfig(
+        host=args.host, port=args.port, port_file=args.port_file,
+        queue_depth=args.queue_depth, deadline_s=args.deadline,
+        drain_grace_s=args.drain_grace, workers=args.workers,
+        journal=not args.no_journal, recover=not args.no_recover,
+        quiet=args.quiet)
+    server = ReproServer(config)
+    code = asyncio.run(server.run())
+    if server.unfinished:
+        # The drain grace expired with runs still executing on the
+        # worker thread; a normal interpreter exit would block joining
+        # it.  Everything accepted is journaled (resumable), so a hard
+        # exit loses nothing.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(code or 1)
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+
+    from .client import DEFAULT_URL, ClientError, ServeClient
+    from .report import Artifact
+
+    url = args.url or os.environ.get("REPRO_SERVE_URL") or DEFAULT_URL
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    unknown_formats = set(formats) - {"json", "csv", "md"}
+    if unknown_formats:
+        print(f"error: unknown --formats {sorted(unknown_formats)}; "
+              f"expected json, csv, md", file=sys.stderr)
+        return 2
+    client = ServeClient(url, retries=args.client_retries)
+    try:
+        response = client.submit(args.experiment, suite=args.suite,
+                                 deadline_s=args.deadline)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    artifact = Artifact.from_dict(response["artifact"])
+    if not args.quiet:
+        serve_meta = artifact.metadata.get("serve", {})
+        note = " [deduped]" if serve_meta.get("deduped") else ""
+        print(f"== {artifact.experiment} (run {response.get('run_id')}"
+              f"{note}) ==")
+        print(artifact.to_markdown())
+    for error in artifact.metadata.get("errors", []):
+        print(f"FAILED [{error.get('kind')}] {error.get('job')}: "
+              f"{error.get('error_type')}: {error.get('error')}",
+              file=sys.stderr)
+    if args.out:
+        for path in artifact.save(args.out, formats=formats):
+            print(f"wrote {path}")
+    return 1 if response.get("failed") else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -289,9 +482,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list(args.what)
+            return _cmd_list(args.what, args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
     except RegistryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,69 @@
+"""Hardened parsing of the ``REPRO_*`` environment knobs.
+
+Every subsystem that reads a numeric environment variable —
+``REPRO_JOB_TIMEOUT``, ``REPRO_SWEEP_WORKERS``, ``REPRO_SERVE_QUEUE_DEPTH``
+and friends — goes through these helpers instead of a bare
+``int(os.environ[...])``: a malformed value (``REPRO_JOB_TIMEOUT=abc``)
+warns **once per variable per process** and falls back to the default,
+rather than raising ``ValueError`` halfway through a sweep or, worse,
+inside a forked worker where the traceback is easy to lose.
+
+Values below ``minimum`` are clamped (a negative retry budget or worker
+count has no meaning anywhere these knobs are read).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Set
+
+__all__ = ["env_int", "env_float"]
+
+# Variables already warned about in this process: malformed values warn
+# once, not once per engine/job/request that reads them.
+_WARNED: Set[str] = set()
+
+
+def _warn_once(name: str, raw: str, default) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"ignoring malformed environment value {name}={raw!r}; "
+        f"falling back to the default ({default})",
+        RuntimeWarning, stacklevel=4)
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """``int(os.environ[name])`` with warn-once fallback and a floor."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _warn_once(name, raw, default)
+        return default
+    return max(value, minimum)
+
+
+def env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """``float(os.environ[name])`` with warn-once fallback and a floor."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        _warn_once(name, raw, default)
+        return default
+    if value != value:  # NaN would poison every min()/comparison downstream
+        _warn_once(name, raw, default)
+        return default
+    return max(value, minimum)
+
+
+def reset_warned() -> None:
+    """Forget which variables warned (test isolation helper)."""
+    _WARNED.clear()

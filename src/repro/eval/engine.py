@@ -82,6 +82,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .. import faults
+from ..envutil import env_float, env_int
 from ..nn import TrainConfig
 from ..perf.cache import (
     ContentCache,
@@ -104,24 +105,9 @@ T = TypeVar("T")
 
 
 def _env_workers() -> int:
-    try:
-        return max(int(os.environ.get("REPRO_SWEEP_WORKERS", "0")), 0)
-    except ValueError:
-        return 0
-
-
-def _env_int(name: str, default: int) -> int:
-    try:
-        return max(int(os.environ.get(name, str(default))), 0)
-    except ValueError:
-        return default
-
-
-def _env_float(name: str, default: float) -> float:
-    try:
-        return max(float(os.environ.get(name, str(default))), 0.0)
-    except ValueError:
-        return default
+    # Malformed values warn once and fall back (see repro.envutil) —
+    # a typo'd knob must never abort a sweep mid-run.
+    return env_int("REPRO_SWEEP_WORKERS", 0)
 
 
 @dataclass(frozen=True)
@@ -270,11 +256,7 @@ _DEFAULT_CHUNK_SPLIT_NODES = 100_000
 
 
 def _chunk_split_nodes() -> int:
-    try:
-        return int(os.environ.get("REPRO_CHUNK_SPLIT_NODES",
-                                  _DEFAULT_CHUNK_SPLIT_NODES))
-    except ValueError:
-        return _DEFAULT_CHUNK_SPLIT_NODES
+    return env_int("REPRO_CHUNK_SPLIT_NODES", _DEFAULT_CHUNK_SPLIT_NODES)
 
 
 def _chunk_key(job):
@@ -338,17 +320,17 @@ class SweepEngine:
     @property
     def retries(self) -> int:
         return (self._retries if self._retries is not None
-                else _env_int("REPRO_JOB_RETRIES", 0))
+                else env_int("REPRO_JOB_RETRIES", 0))
 
     @property
     def timeout(self) -> float:
         return (self._timeout if self._timeout is not None
-                else _env_float("REPRO_JOB_TIMEOUT", 0.0))
+                else env_float("REPRO_JOB_TIMEOUT", 0.0))
 
     @property
     def backoff(self) -> float:
         return (self._backoff if self._backoff is not None
-                else _env_float("REPRO_JOB_BACKOFF", 0.05))
+                else env_float("REPRO_JOB_BACKOFF", 0.05))
 
     def _note_executed(self, jobs: Sequence) -> None:
         self.executed_jobs += len(jobs)

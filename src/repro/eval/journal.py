@@ -29,7 +29,7 @@ import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
-__all__ = ["RunJournal", "new_run_id", "runs_dir", "list_runs"]
+__all__ = ["RunJournal", "gc_runs", "new_run_id", "runs_dir", "list_runs"]
 
 
 def runs_dir(directory: Optional[os.PathLike] = None) -> Path:
@@ -141,6 +141,11 @@ class RunJournal:
 
     # -- queries -----------------------------------------------------------
     @property
+    def records(self) -> List[Dict]:
+        """The journal's records, in append order (a defensive copy)."""
+        return list(self._records)
+
+    @property
     def has_run_header(self) -> bool:
         """Whether the run-spec header record survived on disk.
 
@@ -174,5 +179,54 @@ class RunJournal:
     def complete(self) -> bool:
         return any(r.get("type") == "run-complete" for r in self._records)
 
-    def records(self) -> List[Dict]:
-        return list(self._records)
+    @property
+    def created(self) -> Optional[float]:
+        """Creation time from the run header (None when the header is
+        torn; :func:`gc_runs` falls back to the file mtime then)."""
+        for record in self._records:
+            if record.get("type") == "run":
+                return record.get("created")
+        return None
+
+
+def gc_runs(keep_days: Optional[float] = None, force: bool = False,
+            directory: Optional[os.PathLike] = None,
+            now: Optional[float] = None) -> Dict[str, List[str]]:
+    """Prune journaled runs under ``<cache>/runs/``.
+
+    Completed runs (those with a ``run-complete`` marker) older than
+    ``keep_days`` are removed — with ``keep_days=None`` every completed
+    run goes.  Resumable runs (incomplete journals, i.e. checkpoints a
+    ``--resume`` could still finish) and unreadable journals are kept
+    unless ``force`` is set.  Returns ``{"removed": [...], "kept":
+    [...]}`` with run ids sorted as :func:`list_runs` lists them.
+    """
+    import shutil
+
+    now = time.time() if now is None else now
+    cutoff = None if keep_days is None else now - keep_days * 86400.0
+    removed: List[str] = []
+    kept: List[str] = []
+    for run_id in list_runs(directory):
+        try:
+            journal = RunJournal.load(run_id, directory=directory)
+        except (OSError, ValueError):
+            journal = None
+        removable = force
+        if not removable and journal is not None and journal.complete:
+            if cutoff is None:
+                removable = True
+            else:
+                created = journal.created
+                if created is None:
+                    try:
+                        created = journal.path.stat().st_mtime
+                    except OSError:
+                        created = now
+                removable = created < cutoff
+        if not removable:
+            kept.append(run_id)
+            continue
+        shutil.rmtree(runs_dir(directory) / run_id, ignore_errors=True)
+        removed.append(run_id)
+    return {"removed": removed, "kept": kept}

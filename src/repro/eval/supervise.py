@@ -16,7 +16,8 @@ burned the batch.  This module replaces that with explicit supervision:
   everything already reported is kept, never re-executed.  The parent
   enforces a watchdog deadline per in-flight job (kill + retry), detects
   killed workers via their process sentinels, and reschedules failed
-  jobs with exponential backoff until ``retries`` is exhausted.
+  jobs with jittered exponential backoff (see :func:`backoff_delay`)
+  until ``retries`` is exhausted.
 
 Both paths report exhausted jobs as :class:`JobFailure` records (the
 engine's graceful-degradation currency) or, in fail-fast mode, finish
@@ -28,9 +29,11 @@ Retry/timeout knobs come from the engine (which defaults them from
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
 import signal
 import threading
 import time
@@ -44,6 +47,7 @@ __all__ = [
     "JobFailure",
     "JobTimeout",
     "Supervisor",
+    "backoff_delay",
     "job_deadline",
     "run_serial",
 ]
@@ -112,8 +116,29 @@ def job_deadline(seconds: float):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _backoff_delay(backoff: float, attempt: int) -> float:
-    return backoff * (2.0 ** attempt)
+def backoff_delay(backoff: float, attempt: int, token: str = "") -> float:
+    """Jittered exponential backoff: ``backoff * 2**attempt`` scaled
+    into ``[0.5, 1.0)`` of itself.
+
+    The jitter decorrelates simultaneous retries — when a fault burst
+    fails many workers (or many :mod:`repro.client` requests) at once,
+    plain exponential backoff would march them all back onto the disk
+    cache / server in lockstep at every attempt.  The jitter fraction is
+    drawn from ``sha1(REPRO_FAULTS_SEED | token | attempt)`` when a
+    fault seed is set — so chaos tests are bit-reproducible — and from
+    process-local randomness otherwise.  A ``backoff`` of 0 stays 0.
+    """
+    base = backoff * (2.0 ** attempt)
+    if base <= 0.0:
+        return 0.0
+    seed = os.environ.get("REPRO_FAULTS_SEED")
+    if seed is None:
+        fraction = random.random()
+    else:
+        digest = hashlib.sha1(
+            f"{seed}|backoff|{token}|{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base * (0.5 + 0.5 * fraction)
 
 
 def _failure_from_exception(job, exc: BaseException, attempts: int,
@@ -147,7 +172,7 @@ def run_serial(jobs: Sequence, execute: Callable[[object, int], object],
                     result = execute(job, attempt)
             except Exception as exc:
                 if attempt < retries:
-                    time.sleep(_backoff_delay(backoff, attempt))
+                    time.sleep(backoff_delay(backoff, attempt, repr(job)))
                     continue
                 if fail_fast:
                     raise
@@ -350,7 +375,8 @@ class Supervisor:
                         result = self.execute(job, attempt)
                 except Exception as exc:
                     if attempt < self.retries:
-                        time.sleep(_backoff_delay(self.backoff, attempt))
+                        time.sleep(backoff_delay(self.backoff, attempt,
+                                                 repr(job)))
                         continue
                     if fail_fast:
                         raise
@@ -465,7 +491,7 @@ class Supervisor:
                 pending.append(_Task(
                     jobs=[job], attempts=[attempt + 1],
                     not_before=time.monotonic()
-                    + _backoff_delay(self.backoff, attempt)))
+                    + backoff_delay(self.backoff, attempt, repr(job))))
             else:
                 failures.append(JobFailure(
                     job=job, error_type=type_name, error=text,
@@ -500,7 +526,7 @@ class Supervisor:
             pending.append(_Task(
                 jobs=[victim], attempts=[victim_attempt + 1],
                 not_before=time.monotonic()
-                + _backoff_delay(self.backoff, victim_attempt)))
+                + backoff_delay(self.backoff, victim_attempt, repr(victim))))
         else:
             label = ("worker process died mid-job" if kind == "worker-death"
                      else f"watchdog killed the worker after the "

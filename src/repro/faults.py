@@ -26,7 +26,14 @@ Fault kinds:
 - ``corrupt_cache`` — truncate a disk-cache entry right after its
   atomic write, so a later read sees a torn file;
 - ``cache_readonly`` — make the next disk-cache write raise
-  ``PermissionError``, as if the store went read-only mid-sweep.
+  ``PermissionError``, as if the store went read-only mid-sweep;
+- ``serve_drop`` / ``serve_delay`` / ``serve_reject`` — request-path
+  faults applied by the :mod:`repro.serve` daemon (connection dropped
+  without a response, an injected handling delay, an HTTP 503 reject),
+  so the client's retry/backoff behavior is testable end-to-end.  Like
+  job faults, they fire only on a request's first attempt (clients send
+  their retry ordinal in ``X-Repro-Attempt``), so bounded client
+  retries always converge.
 
 Activation is either environment-based — ``REPRO_FAULTS="kill=0.2,
 corrupt_cache=1.0:1"`` plus ``REPRO_FAULTS_SEED`` — which forked pool
@@ -56,7 +63,8 @@ __all__ = [
     "parse_fault_spec",
 ]
 
-FAULT_KINDS = ("kill", "hang", "raise", "corrupt_cache", "cache_readonly")
+FAULT_KINDS = ("kill", "hang", "raise", "corrupt_cache", "cache_readonly",
+               "serve_drop", "serve_delay", "serve_reject")
 
 ENV_SPEC = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULTS_SEED"
@@ -141,10 +149,9 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
 
 
 def _job_timeout() -> float:
-    try:
-        return max(float(os.environ.get("REPRO_JOB_TIMEOUT", "0")), 0.0)
-    except ValueError:
-        return 0.0
+    from .envutil import env_float
+
+    return env_float("REPRO_JOB_TIMEOUT", 0.0)
 
 
 def in_worker() -> bool:
@@ -198,6 +205,24 @@ class FaultInjector:
                 f"configured) for {token}")
         if self.should_fire("raise", token):
             raise InjectedFault(f"raise fault for {token}")
+
+    def on_request(self, token: str, attempt: int = 0) -> Optional[str]:
+        """Request-path decision for the serve daemon.
+
+        Returns ``"drop"`` (close the connection without responding),
+        ``"reject"`` (respond 503) or ``"delay"`` (sleep briefly before
+        handling) — or ``None`` to handle the request normally.  Fires
+        only on a request's first attempt so client retries converge;
+        at most one action fires per request, in the order above.
+        """
+        if attempt != 0:
+            return None
+        for kind, action in (("serve_drop", "drop"),
+                             ("serve_reject", "reject"),
+                             ("serve_delay", "delay")):
+            if self.should_fire(kind, token):
+                return action
+        return None
 
     def on_cache_write_start(self, token: str) -> None:
         """Called by DiskCache.put before writing an entry."""

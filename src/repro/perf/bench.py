@@ -33,6 +33,14 @@ loop (in-place optimizers, shared eval forward) against the seed loop
 preserved in :mod:`repro.perf.reference`, asserting bit-identical
 accuracies.
 
+A ``serve_load`` entry load-tests the :mod:`repro.serve` daemon end to
+end (subprocess, own temp cache): identical concurrent requests must
+dedup to one execution, warm requests must execute zero jobs, a client
+swarm is summarized as p50/p99 latency and throughput, and a daemon
+under injected worker kills + request rejects must show a zero error
+rate through the client's bounded retries — with a clean SIGTERM drain
+(exit 0) each time.
+
 ``--quick`` restricts the sweep to the small size (used by CI smoke
 runs); the default sweep ends at the ~50k-node / ~500k-edge graph the
 acceptance criteria are stated against.  Reference implementations are
@@ -554,6 +562,168 @@ def _bench_train_epoch(quick: bool) -> dict:
     }
 
 
+class _ServeDaemon:
+    """A ``repro serve`` subprocess pinned to its own cache directory."""
+
+    def __init__(self, cache_dir, extra_env: Optional[Dict[str, str]] = None,
+                 args: tuple = ()) -> None:
+        import subprocess
+        import time as time_module
+        from pathlib import Path
+
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        port_file = cache_dir / "port"
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        env.update(extra_env or {})
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--port-file", str(port_file), *args],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True)
+        deadline = time_module.monotonic() + 120
+        while not port_file.exists():
+            if self.proc.poll() is not None:
+                raise RuntimeError("serve daemon exited during startup:\n"
+                                   + (self.proc.stderr.read() or ""))
+            if time_module.monotonic() > deadline:
+                self.proc.kill()
+                raise TimeoutError("serve daemon never wrote its port file")
+            time_module.sleep(0.05)
+        self.url = f"http://127.0.0.1:{port_file.read_text().strip()}"
+
+    def stop(self) -> int:
+        """SIGTERM (graceful drain) and return the exit code."""
+        import signal
+        import subprocess
+
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait(timeout=10)
+
+
+def _bench_serve_load(quick: bool, check: bool = True) -> dict:
+    """Load-test the ``repro serve`` daemon end to end.
+
+    Three phases against subprocess daemons with their own temp cache:
+
+    - **cold / dedup** — N identical concurrent requests against an
+      empty cache must collapse to *one* engine execution (followers
+      attach to the leader's in-flight task);
+    - **warm** — a concurrent client swarm over the now-hot cache,
+      reported as p50/p99/mean latency and throughput; the engine must
+      execute zero further jobs;
+    - **faulted** — a fresh (cold) daemon under injected worker kills
+      (``kill=0.2``) and request-path rejects (``serve_reject=0.2``):
+      supervised job retries plus client-side retries must absorb every
+      fault (error rate 0).
+
+    Each daemon is stopped with SIGTERM; a clean drain (exit 0) is part
+    of the pass criteria.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..client import ServeClient, run_load
+
+    spec = {"experiment": "stall_table", "suite": "quick"}
+    dedup_clients = 4
+    warm_clients, warm_requests = (4, 4) if quick else (8, 6)
+    fault_clients, fault_requests = (4, 2) if quick else (6, 3)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        daemon = _ServeDaemon(Path(tmp) / "plain")
+        try:
+            client = ServeClient(daemon.url)
+            cold = run_load(daemon.url, [spec], clients=dedup_clients,
+                            requests_per_client=1)
+            stats_cold = client.stats()
+            warm = run_load(daemon.url, [spec], clients=warm_clients,
+                            requests_per_client=warm_requests)
+            stats_warm = client.stats()
+        finally:
+            drain_exit = daemon.stop()
+        executed_cold = stats_cold["engine"]["executed"]["jobs"]
+        executed_delta = (stats_warm["engine"]["executed"]["jobs"]
+                          - executed_cold)
+        if check:
+            assert cold["errors"] == 0, cold
+            assert stats_cold["counters"]["executed_runs"] == 1, \
+                f"{dedup_clients} identical concurrent requests must " \
+                f"collapse to one execution: {stats_cold['counters']}"
+            assert cold["deduped"] >= dedup_clients - 1, cold
+            assert warm["errors"] == 0, warm
+            assert executed_delta == 0, \
+                f"warm requests must execute no jobs ({executed_delta})"
+            assert drain_exit == 0, f"drain exit code {drain_exit}"
+
+        fault_env = {"REPRO_FAULTS": "kill=0.2,serve_reject=0.2",
+                     "REPRO_FAULTS_SEED": "0",
+                     "REPRO_JOB_TIMEOUT": "120"}
+        daemon = _ServeDaemon(Path(tmp) / "faulted", extra_env=fault_env,
+                              args=("--workers", "2", "--retries", "3"))
+        try:
+            faulted = run_load(daemon.url, [spec], clients=fault_clients,
+                               requests_per_client=fault_requests, retries=4)
+            fault_client = ServeClient(daemon.url)
+            stats_faulted = fault_client.stats()
+        finally:
+            faulted_exit = daemon.stop()
+        if check:
+            assert faulted["errors"] == 0 and faulted["failed_jobs"] == 0, \
+                f"retries must absorb injected faults: {faulted}"
+            assert faulted_exit == 0, f"faulted drain exit {faulted_exit}"
+
+    return {
+        "experiment": spec["experiment"],
+        "suite": spec["suite"],
+        "cold": {
+            "clients": dedup_clients,
+            "requests": cold["requests"],
+            "errors": cold["errors"],
+            "deduped": cold["deduped"],
+            "executed_runs": stats_cold["counters"]["executed_runs"],
+            "executed_jobs": executed_cold,
+            "p50_ms": cold["p50_ms"],
+            "wall_s": cold["wall_s"],
+        },
+        "warm": {
+            "clients": warm_clients,
+            "requests": warm["requests"],
+            "errors": warm["errors"],
+            "error_rate": warm["error_rate"],
+            "p50_ms": warm["p50_ms"],
+            "p99_ms": warm["p99_ms"],
+            "mean_ms": warm["mean_ms"],
+            "throughput_rps": warm["throughput_rps"],
+            "executed_jobs_delta": executed_delta,
+        },
+        "faulted": {
+            "faults": fault_env["REPRO_FAULTS"],
+            "workers": 2,
+            "retries": 3,
+            "clients": fault_clients,
+            "requests": faulted["requests"],
+            "errors": faulted["errors"],
+            "error_rate": faulted["error_rate"],
+            "failed_jobs": faulted["failed_jobs"],
+            "attempts": faulted["attempts"],
+            "p50_ms": faulted["p50_ms"],
+            "p99_ms": faulted["p99_ms"],
+            "throughput_rps": faulted["throughput_rps"],
+            "injected": stats_faulted["counters"]["faults"],
+        },
+        "drain_exit_code": drain_exit,
+        "faulted_drain_exit_code": faulted_exit,
+    }
+
+
 def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                    check: bool = True, seed: int = 0,
                    quick_sweep: Optional[bool] = None,
@@ -567,7 +737,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v4",
+        "schema": "repro.perf.bench/v5",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -605,6 +775,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     report["train_epoch"] = _bench_train_epoch(quick_sweep)
     report["accuracy_sweep"] = _bench_accuracy_sweep(quick_sweep,
                                                      workers=sweep_workers)
+    report["serve_load"] = _bench_serve_load(quick_sweep, check=check)
     return report
 
 
@@ -662,6 +833,26 @@ def _print_summary(report: dict) -> None:
         print(f"  cold parallel {acc['cold_parallel_s'] * 1e3:>9.1f}ms "
               f"({acc['workers']} workers, {acc['parallel_speedup']:.2f}x"
               f"{pool_note})")
+    load = report.get("serve_load")
+    if load:
+        print(f"\nserve_load: {load['experiment']} --suite {load['suite']} "
+              f"over the serve daemon")
+        print(f"  cold+dedup    {load['cold']['requests']} concurrent "
+              f"identical requests -> {load['cold']['executed_runs']} "
+              f"execution(s) ({load['cold']['deduped']} deduped, "
+              f"{load['cold']['executed_jobs']} jobs)")
+        print(f"  warm          {load['warm']['requests']} requests, "
+              f"p50 {load['warm']['p50_ms']:.1f}ms / "
+              f"p99 {load['warm']['p99_ms']:.1f}ms, "
+              f"{load['warm']['throughput_rps']:.1f} req/s, "
+              f"{load['warm']['executed_jobs_delta']} jobs executed")
+        print(f"  faulted       {load['faulted']['requests']} requests under "
+              f"{load['faulted']['faults']}: error rate "
+              f"{load['faulted']['error_rate']:.0%} "
+              f"({load['faulted']['attempts']} attempts, "
+              f"{load['faulted']['injected']} faults injected)")
+        print(f"  drain         exit {load['drain_exit_code']} / "
+              f"{load['faulted_drain_exit_code']} (SIGTERM, graceful)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

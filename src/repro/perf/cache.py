@@ -484,11 +484,18 @@ class DiskCache:
         self._warned_corrupt = self._warned_readonly = False
 
     def stats(self) -> Dict[str, int]:
+        entries = size_bytes = 0
         try:
-            entries = sum(1 for _ in self.directory.glob("*.pkl"))
+            for path in self.directory.glob("*.pkl"):
+                entries += 1
+                try:
+                    size_bytes += path.stat().st_size
+                except OSError:
+                    pass
         except OSError:
-            entries = 0
-        return {"entries": entries, "hits": self.hits, "misses": self.misses,
+            pass
+        return {"entries": entries, "size_bytes": size_bytes,
+                "hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "corrupt_drops": self.corrupt_drops,
                 "write_failures": self.write_failures,
                 "io_errors": self.io_errors}

@@ -211,7 +211,7 @@ class TestResume:
                        on_error="degrade")
         loaded = RunJournal.load(engine.journal.run_id, directory=cache)
         assert len(loaded.failed_jobs()) == 1
-        record = [r for r in loaded.records() if r.get("status") == "failed"][0]
+        record = [r for r in loaded.records if r.get("status") == "failed"][0]
         assert "InjectedFault" in record["error"]
 
     def test_artifact_carries_run_id(self, tmp_path):

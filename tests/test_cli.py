@@ -1,11 +1,23 @@
 """The unified ``python -m repro`` CLI (in-process via ``cli.main``)."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+from repro.eval.engine import temporary_cache_dir
+from repro.eval.journal import RunJournal
+from repro.faults import parse_fault_spec
+from repro.registry import get_experiment
 from repro.report import validate_artifact_dict
+
+SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
 
 
 class TestList:
@@ -233,3 +245,121 @@ class TestRobustnessFlags:
         assert main(["list", "runs"]) == 0
         out = capsys.readouterr().out
         assert "cli-test-list" in out and "complete" in out
+
+
+class TestGcCli:
+    """`repro list runs --gc`: prune completed runs from the CLI."""
+
+    @pytest.fixture()
+    def gc_cache(self, tmp_path):
+        with temporary_cache_dir(tmp_path):
+            yield tmp_path
+
+    def test_gc_prunes_completed_keeps_resumable(self, gc_cache, capsys):
+        done = RunJournal.create(run_id="gc-done")
+        done.record_event("run-complete")
+        RunJournal.create(run_id="gc-open")
+        assert main(["list", "runs", "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed gc-done" in out
+        assert "removed 1 run(s), kept 1" in out
+        assert "need --force" in out
+        assert main(["list", "runs"]) == 0
+        listing = capsys.readouterr().out
+        assert "gc-open" in listing and "gc-done" not in listing
+
+    def test_gc_force_prunes_resumable(self, gc_cache, capsys):
+        RunJournal.create(run_id="gc-open")
+        assert main(["list", "runs", "--gc", "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "removed gc-open" in out
+        assert main(["list", "runs"]) == 0
+        assert "gc-open" not in capsys.readouterr().out
+
+    def test_gc_outside_runs_is_an_error(self, gc_cache, capsys):
+        assert main(["list", "accelerators", "--gc"]) == 2
+        assert "--gc applies to `list runs` only" in capsys.readouterr().err
+
+
+def _first_hang_index():
+    """Find a chaos seed whose first ``hang`` firing lands mid-sweep.
+
+    Returns ``(seed, index, total)`` over stall_table's default job
+    list so the interrupt tests know exactly how many jobs complete
+    before the process wedges — deterministic, no sleeps-and-hope.
+    """
+    spec = get_experiment("stall_table")
+    jobs = list(spec.build_jobs(**dict(spec.defaults)).values())
+    for seed in range(64):
+        plan = parse_fault_spec("hang=0.5:1", seed=seed)
+        fired = [i for i, job in enumerate(jobs)
+                 if plan.decide("hang", repr(job))]
+        if fired and 0 < fired[0] < len(jobs):
+            return seed, fired[0], len(jobs)
+    raise AssertionError("no seed in 0..63 hangs mid-sweep")
+
+
+class TestInterruptSignals:
+    """SIGINT/SIGTERM mid-sweep: journal stays resumable, exit 130."""
+
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM],
+                             ids=["sigint", "sigterm"])
+    def test_interrupt_mid_sweep_then_resume(self, tmp_path, sig):
+        seed, index, total = _first_hang_index()
+        cache = tmp_path / "cache"
+        journal_path = cache / "runs" / "cli-interrupt" / "journal.jsonl"
+        env = os.environ.copy()
+        env["PYTHONPATH"] = SRC_ROOT
+        env["REPRO_CACHE_DIR"] = str(cache)
+        env["REPRO_FAULTS"] = "hang=0.5:1"
+        env["REPRO_FAULTS_SEED"] = str(seed)
+        env["REPRO_JOB_TIMEOUT"] = "600"
+        argv = [sys.executable, "-m", "repro", "run", "stall_table",
+                "--quiet", "--run-id", "cli-interrupt"]
+        proc = subprocess.Popen(argv, env=env, cwd=str(tmp_path),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+        try:
+            # The run wedges (sleeping far past the interrupt) once
+            # `index` jobs are journaled; wait for that point.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                done = (journal_path.read_text().count('"status": "ok"')
+                        if journal_path.exists() else 0)
+                if done >= index:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("sweep never reached the hang job")
+            time.sleep(0.2)  # let the hang job enter its sleep
+            proc.send_signal(sig)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, (stdout, stderr)
+        assert "resume with" in stderr and "cli-interrupt" in stderr
+        journal = RunJournal.load("cli-interrupt", directory=cache)
+        assert not journal.complete
+        assert any(r.get("type") == "interrupted" for r in journal.records)
+        assert len(journal.completed_jobs()) == index
+
+        resume_env = env.copy()
+        for var in ("REPRO_FAULTS", "REPRO_FAULTS_SEED"):
+            resume_env.pop(var, None)
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             "--resume", "cli-interrupt", "--quiet"],
+            env=resume_env, cwd=str(tmp_path), capture_output=True,
+            text=True, timeout=300)
+        assert done.returncode == 0, (done.stdout, done.stderr)
+        journal = RunJournal.load("cli-interrupt", directory=cache)
+        assert journal.complete
+        # Exactly the remaining jobs executed on resume: every job
+        # fingerprint journaled once, none twice (cache hits skip the
+        # journal, so a duplicate would mean re-execution).
+        ok = [r["fingerprint"] for r in journal.records
+              if r.get("type") == "job" and r.get("status") == "ok"]
+        assert len(ok) == total
+        assert len(set(ok)) == total

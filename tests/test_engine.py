@@ -1,8 +1,11 @@
 """Tests for the sweep engine: parallel/serial identity, disk cache
 round trips, and content-keyed invalidation."""
 
+import warnings
+
 import pytest
 
+from repro import envutil
 from repro.eval.engine import SimJob, SweepEngine, get_engine
 from repro.eval.experiments import clear_caches, simulate
 from repro.perf.cache import DiskCache, cached_load_dataset, content_key
@@ -254,9 +257,18 @@ class TestDiskCache:
 
     def test_stats_carry_robustness_counters(self, tmp_path):
         cache = DiskCache("unit", directory=tmp_path)
-        assert set(cache.stats()) == {"entries", "hits", "misses", "stores",
-                                      "corrupt_drops", "write_failures",
-                                      "io_errors"}
+        assert set(cache.stats()) == {"entries", "size_bytes", "hits",
+                                      "misses", "stores", "corrupt_drops",
+                                      "write_failures", "io_errors"}
+
+    def test_stats_size_bytes_tracks_entries(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        assert cache.stats()["size_bytes"] == 0
+        cache.put(content_key("a"), list(range(100)))
+        size_one = cache.stats()["size_bytes"]
+        assert size_one > 0
+        cache.put(content_key("b"), list(range(100)))
+        assert cache.stats()["size_bytes"] > size_one
 
 
 class TestCacheRaces:
@@ -442,3 +454,47 @@ class TestSupervisionPolicy:
 
 def test_default_engine_is_shared():
     assert get_engine() is get_engine()
+
+
+class TestEnvHardening:
+    """Malformed REPRO_* env values warn once and fall back (repro.envutil)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        envutil.reset_warned()
+        yield
+        envutil.reset_warned()
+
+    def test_malformed_int_warns_once_then_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "abc")
+        with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_WORKERS"):
+            assert envutil.env_int("REPRO_SWEEP_WORKERS", 0) == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert envutil.env_int("REPRO_SWEEP_WORKERS", 0) == 0
+
+    def test_malformed_float_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "abc")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_TIMEOUT"):
+            assert envutil.env_float("REPRO_JOB_TIMEOUT", 0.0) == 0.0
+
+    def test_nan_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_BACKOFF", "nan")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_BACKOFF"):
+            assert envutil.env_float("REPRO_JOB_BACKOFF", 0.05) == 0.05
+
+    def test_values_below_minimum_are_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "-3")
+        assert envutil.env_int("REPRO_JOB_RETRIES", 0, minimum=0) == 0
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "-1.5")
+        assert envutil.env_float("REPRO_JOB_TIMEOUT", 0.0, minimum=0.0) == 0.0
+
+    def test_engine_survives_malformed_timeout_env(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "abc")
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "oops")
+        engine = SweepEngine(cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_TIMEOUT"):
+            assert engine.timeout == 0.0
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_RETRIES"):
+            assert engine.retries == 0

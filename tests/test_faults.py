@@ -118,3 +118,29 @@ class TestActivation:
         spec = ",".join(f"{kind}=0.1" for kind in FAULT_KINDS)
         plan = parse_fault_spec(spec)
         assert {kind for kind, _ in plan.rates} == set(FAULT_KINDS)
+
+
+class TestServeRequestFaults:
+    """The request-path kinds the serve daemon applies at POST /run."""
+
+    def test_serve_kinds_registered(self):
+        assert {"serve_drop", "serve_delay", "serve_reject"} <= set(FAULT_KINDS)
+
+    def test_on_request_fires_only_on_attempt_zero(self):
+        injector = FaultInjector(parse_fault_spec("serve_reject=1"))
+        assert injector.on_request("token", attempt=1) is None
+        assert injector.on_request("token", attempt=0) == "reject"
+
+    def test_on_request_none_without_serve_rates(self):
+        injector = FaultInjector(parse_fault_spec("kill=1,hang=1"))
+        assert injector.on_request("token") is None
+
+    def test_on_request_priority_and_caps(self):
+        injector = FaultInjector(
+            parse_fault_spec("serve_drop=1:1,serve_reject=1"))
+        assert injector.on_request("a") == "drop"    # drop outranks reject
+        assert injector.on_request("b") == "reject"  # drop cap exhausted
+
+    def test_on_request_delay_action(self):
+        injector = FaultInjector(parse_fault_spec("serve_delay=1"))
+        assert injector.on_request("token") == "delay"

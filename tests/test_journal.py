@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.eval.journal import RunJournal, list_runs, new_run_id, runs_dir
+from repro.eval.journal import (RunJournal, gc_runs, list_runs,
+                                new_run_id, runs_dir)
 
 
 class TestRunJournal:
@@ -90,3 +91,43 @@ class TestRunsDirectory:
         b = RunJournal.create(spec={}, directory=tmp_path)
         assert set(list_runs(tmp_path)) == {a.run_id, b.run_id}
         assert runs_dir(tmp_path) == tmp_path / "runs"
+
+
+class TestGcRuns:
+    """`gc_runs` / `repro list runs --gc`: pruning journaled runs."""
+
+    def test_removes_completed_keeps_resumable(self, tmp_path):
+        done = RunJournal.create(run_id="done", directory=tmp_path, spec={})
+        done.record_event("run-complete")
+        RunJournal.create(run_id="open", directory=tmp_path, spec={})
+        outcome = gc_runs(directory=tmp_path)
+        assert outcome == {"removed": ["done"], "kept": ["open"]}
+        assert list_runs(tmp_path) == ["open"]
+
+    def test_force_removes_resumable(self, tmp_path):
+        RunJournal.create(run_id="open", directory=tmp_path, spec={})
+        assert gc_runs(directory=tmp_path, force=True)["removed"] == ["open"]
+        assert list_runs(tmp_path) == []
+
+    def test_keep_days_spares_recent_completed_runs(self, tmp_path):
+        import time
+
+        done = RunJournal.create(run_id="recent", directory=tmp_path, spec={})
+        done.record_event("run-complete")
+        assert gc_runs(keep_days=1, directory=tmp_path)["kept"] == ["recent"]
+        future = time.time() + 2 * 86400
+        assert gc_runs(keep_days=1, directory=tmp_path,
+                       now=future)["removed"] == ["recent"]
+
+    def test_unreadable_journal_kept_unless_forced(self, tmp_path):
+        bad = runs_dir(tmp_path) / "bad"
+        bad.mkdir(parents=True)
+        (bad / "journal.jsonl").write_text('{"type": "run"\n{{{\nmore\n')
+        assert gc_runs(directory=tmp_path)["kept"] == ["bad"]
+        assert gc_runs(directory=tmp_path, force=True)["removed"] == ["bad"]
+
+    def test_created_property_reads_header(self, tmp_path):
+        journal = RunJournal.create(run_id="stamped", directory=tmp_path,
+                                    spec={})
+        loaded = RunJournal.load("stamped", directory=tmp_path)
+        assert loaded.created is not None and loaded.created > 0

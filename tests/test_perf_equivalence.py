@@ -299,7 +299,7 @@ class TestTimersAndBench:
         assert report["train_epoch"]["bit_identical"]
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v4"
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v5"
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,437 @@
+"""The ``repro serve`` daemon and its client: admission control,
+in-flight dedup, per-request deadlines, server-side fault injection,
+graceful drain and restart recovery."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.client import ClientError, ServeClient, percentile, run_load
+from repro.eval.engine import temporary_cache_dir
+from repro.eval.journal import RunJournal, list_runs
+from repro.faults import inject_faults
+from repro.registry import EXPERIMENTS, ExperimentSpec
+from repro.report import validate_artifact_dict
+from repro.serve import ReproServer, ServeConfig, ServerThread
+
+SRC_ROOT = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture
+def serve_cache(tmp_path):
+    """A fresh engine + cache dir for the in-process server."""
+    with temporary_cache_dir(tmp_path / "serve-cache"):
+        yield tmp_path / "serve-cache"
+
+
+@pytest.fixture
+def sleeper():
+    """Register a jobless experiment whose reducer sleeps: lets tests
+    occupy the server's single executor thread for a known duration."""
+
+    def build_jobs(**params):
+        return {}
+
+    def reduce(results, delay=0.2, tag=0):
+        time.sleep(delay)
+        return {"tag": tag}
+
+    spec = ExperimentSpec(name="_serve_sleeper", description="test sleeper",
+                          build_jobs=build_jobs, reduce=reduce,
+                          defaults=(("delay", 0.2), ("tag", 0)))
+    EXPERIMENTS.add("_serve_sleeper", spec)
+    try:
+        yield spec
+    finally:
+        EXPERIMENTS.unregister("_serve_sleeper")
+
+
+def _thread_server(**config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("quiet", True)
+    return ServerThread(ServeConfig(**config_kwargs))
+
+
+class TestEndpoints:
+    def test_healthz_readyz_stats(self, serve_cache):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url)
+            assert client.health()
+            assert client.ready()
+            stats = client.stats()
+            assert stats["ready"] and not stats["draining"]
+            assert stats["queue_depth"] >= 1
+            assert "counters" in stats and "engine" in stats
+            assert stats["counters"]["executed_runs"] == 0
+        assert handle.exit_code == 0
+
+    def test_unknown_route_404(self, serve_cache):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url, retries=0)
+            with pytest.raises(ClientError) as err:
+                client.request_json("GET", "/nope")
+            assert err.value.status == 404
+
+    def test_unknown_experiment_400_no_retries_burned(self, serve_cache):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url, retries=3)
+            with pytest.raises(ClientError) as err:
+                client.submit("no_such_experiment")
+            assert err.value.status == 400
+            assert client.attempts_total == 1  # permanent, not retried
+
+    def test_suite_on_non_suite_experiment_400(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url, retries=0)
+            with pytest.raises(ClientError) as err:
+                client.submit("_serve_sleeper", suite="quick")
+            assert err.value.status == 400
+
+
+class TestSubmit:
+    def test_cold_then_warm_executes_zero_jobs(self, serve_cache):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url)
+            first = client.submit("stall_table", suite="quick")
+            assert first["failed"] == 0 and not first["deduped"]
+            validate_artifact_dict(first["artifact"])
+            assert first["run_id"] is not None
+            executed = client.stats()["engine"]["executed"]["jobs"]
+            assert executed > 0
+
+            second = client.submit("stall_table", suite="quick")
+            assert second["failed"] == 0
+            assert second["artifact"]["rows"] == first["artifact"]["rows"]
+            assert client.stats()["engine"]["executed"]["jobs"] == executed
+        assert handle.exit_code == 0
+
+    def test_served_run_is_journaled_complete(self, serve_cache):
+        with _thread_server() as handle:
+            response = ServeClient(handle.url).submit("stall_table",
+                                                      suite="quick")
+        journal = RunJournal.load(response["run_id"])
+        assert journal.complete
+        assert journal.spec["origin"] == "serve"
+        assert journal.spec["experiment"] == "stall_table"
+        assert len(journal.completed_jobs()) > 0
+
+    def test_no_journal_config_skips_journaling(self, serve_cache):
+        with _thread_server(journal=False) as handle:
+            response = ServeClient(handle.url).submit("stall_table",
+                                                      suite="quick")
+            assert response["run_id"] is None
+        assert list_runs() == []
+
+    def test_identical_concurrent_requests_dedup(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            url = handle.url
+            responses = []
+            lock = threading.Lock()
+
+            def submit():
+                r = ServeClient(url).submit("_serve_sleeper",
+                                            params={"delay": 1.0})
+                with lock:
+                    responses.append(r)
+
+            threads = [threading.Thread(target=submit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = ServeClient(url).stats()
+            assert stats["counters"]["executed_runs"] == 1
+            assert stats["counters"]["deduped"] >= 3
+            assert sum(r["deduped"] for r in responses) >= 3
+            rows = [r["artifact"]["rows"] for r in responses]
+            assert all(r == rows[0] for r in rows)
+
+    def test_distinct_params_do_not_dedup(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url)
+            client.submit("_serve_sleeper", params={"delay": 0.0, "tag": 1})
+            client.submit("_serve_sleeper", params={"delay": 0.0, "tag": 2})
+            stats = client.stats()
+            assert stats["counters"]["executed_runs"] == 2
+            assert stats["counters"]["deduped"] == 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_429_with_retry_after(self, serve_cache, sleeper):
+        with _thread_server(queue_depth=1) as handle:
+            url = handle.url
+            leader = threading.Thread(
+                target=lambda: ServeClient(url).submit(
+                    "_serve_sleeper", params={"delay": 1.0, "tag": 1}))
+            leader.start()
+            try:
+                deadline = time.monotonic() + 5
+                status = None
+                while time.monotonic() < deadline:
+                    try:
+                        # A *different* key, so it needs its own slot.
+                        ServeClient(url, retries=0).submit(
+                            "_serve_sleeper", params={"delay": 0.0,
+                                                      "tag": 2})
+                    except ClientError as err:
+                        status = err.status
+                        break
+                    time.sleep(0.02)
+                assert status == 429
+                assert ServeClient(url).stats()["counters"]["rejected"] >= 1
+            finally:
+                leader.join()
+            # Once the queue drains, the same request is admitted.
+            response = ServeClient(url).submit("_serve_sleeper",
+                                               params={"delay": 0.0,
+                                                       "tag": 2})
+            assert response["failed"] == 0
+
+    def test_client_retries_through_backpressure(self, serve_cache, sleeper):
+        with _thread_server(queue_depth=1) as handle:
+            url = handle.url
+            leader = threading.Thread(
+                target=lambda: ServeClient(url).submit(
+                    "_serve_sleeper", params={"delay": 0.6, "tag": 1}))
+            leader.start()
+            try:
+                time.sleep(0.1)
+                # Retries + Retry-After absorb the 429s.
+                response = ServeClient(url, retries=6, backoff=0.2).submit(
+                    "_serve_sleeper", params={"delay": 0.0, "tag": 2})
+                assert response["failed"] == 0
+            finally:
+                leader.join()
+
+
+class TestDeadlines:
+    def test_deadline_returns_degrade_artifact(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url)
+            response = client.submit("_serve_sleeper",
+                                     params={"delay": 1.0},
+                                     deadline_s=0.15)
+            assert response["deadline_expired"] is True
+            assert response["failed"] == 1
+            artifact = response["artifact"]
+            validate_artifact_dict(artifact)
+            assert artifact["rows"] == []
+            kinds = [e["kind"] for e in artifact["metadata"]["errors"]]
+            assert kinds == ["deadline"]
+            assert client.stats()["counters"]["deadline_expired"] == 1
+            # The run keeps executing server-side and completes.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.stats()["counters"]["executed_runs"] == 1:
+                    break
+                time.sleep(0.05)
+            assert client.stats()["counters"]["executed_runs"] == 1
+
+    def test_bad_deadline_400(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            client = ServeClient(handle.url, retries=0)
+            with pytest.raises(ClientError) as err:
+                client.submit("_serve_sleeper", deadline_s="soon")
+            assert err.value.status == 400
+
+
+class TestServeFaults:
+    def test_reject_fault_absorbed_by_retries(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            with inject_faults("serve_reject=1:1", seed=3):
+                response = ServeClient(handle.url, retries=2,
+                                       backoff=0.01).submit(
+                    "_serve_sleeper", params={"delay": 0.0})
+            assert response["failed"] == 0
+            assert ServeClient(handle.url).stats()["counters"]["faults"] >= 1
+
+    def test_drop_fault_absorbed_by_retries(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            with inject_faults("serve_drop=1:1", seed=3):
+                response = ServeClient(handle.url, retries=2,
+                                       backoff=0.01).submit(
+                    "_serve_sleeper", params={"delay": 0.0})
+            assert response["failed"] == 0
+
+    def test_delay_fault_still_answers(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            with inject_faults("serve_delay=1:1", seed=3):
+                response = ServeClient(handle.url, retries=0).submit(
+                    "_serve_sleeper", params={"delay": 0.0})
+            assert response["failed"] == 0
+
+    def test_reject_fault_exhausts_unretried_client(self, serve_cache,
+                                                    sleeper):
+        with _thread_server() as handle:
+            with inject_faults("serve_reject=1:1", seed=3):
+                with pytest.raises(ClientError) as err:
+                    ServeClient(handle.url, retries=0).submit(
+                        "_serve_sleeper", params={"delay": 0.0})
+            assert err.value.status == 503
+
+
+class TestRecovery:
+    def test_boot_readopts_unfinished_serve_runs(self, serve_cache):
+        # A serve-origin journal with a header but no run-complete marker
+        # is exactly what a SIGKILL'd daemon leaves behind.
+        RunJournal.create(run_id="serve-crashed", spec={
+            "origin": "serve", "experiment": "stall_table", "suite": None,
+            "params": {"datasets": ["cora"], "accelerators": ["mega"]}})
+        with _thread_server() as handle:
+            stats = ServeClient(handle.url).stats()
+            assert stats["counters"]["recovered_runs"] == 1
+            assert stats["counters"]["recovery_failures"] == 0
+        journal = RunJournal.load("serve-crashed")
+        assert journal.complete
+        assert len(journal.completed_jobs()) == 1  # cora x mega
+        assert "resumed" in {r.get("type") for r in journal.records}
+
+    def test_boot_skips_cli_runs_and_complete_runs(self, serve_cache):
+        RunJournal.create(run_id="cli-unfinished", spec={
+            "experiments": ["stall_table"]})
+        done = RunJournal.create(run_id="serve-done", spec={
+            "origin": "serve", "experiment": "stall_table", "suite": None,
+            "params": {}})
+        done.record_event("run-complete")
+        with _thread_server() as handle:
+            stats = ServeClient(handle.url).stats()
+            assert stats["counters"]["recovered_runs"] == 0
+        assert not RunJournal.load("cli-unfinished").complete
+
+    def test_no_recover_config_skips_adoption(self, serve_cache):
+        RunJournal.create(run_id="serve-crashed", spec={
+            "origin": "serve", "experiment": "stall_table", "suite": None,
+            "params": {}})
+        with _thread_server(recover=False) as handle:
+            assert ServeClient(handle.url).stats()["counters"][
+                "recovered_runs"] == 0
+        assert not RunJournal.load("serve-crashed").complete
+
+
+class TestLoadGenerator:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([1.0], 0.99) == 1.0
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.5) == 51.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_run_load_summary_shape(self, serve_cache, sleeper):
+        with _thread_server() as handle:
+            summary = run_load(handle.url,
+                               [{"experiment": "_serve_sleeper",
+                                 "params": {"delay": 0.0}}],
+                               clients=2, requests_per_client=2)
+        assert summary["requests"] == 4
+        assert summary["errors"] == 0 and summary["error_rate"] == 0.0
+        assert summary["p50_ms"] <= summary["p99_ms"]
+        assert summary["throughput_rps"] > 0
+        assert summary["attempts"] >= 4
+
+
+def _spawn_serve(cache_dir, port_file, extra_env=None, args=()):
+    env = dict(os.environ, PYTHONPATH=SRC_ROOT,
+               REPRO_CACHE_DIR=str(cache_dir))
+    for name in ("REPRO_FAULTS", "REPRO_FAULTS_SEED", "REPRO_JOB_TIMEOUT"):
+        env.pop(name, None)
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--port-file", str(port_file), *args],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        text=True)
+    deadline = time.monotonic() + 60
+    while not Path(port_file).exists():
+        if proc.poll() is not None:
+            raise RuntimeError("serve exited: " + (proc.stderr.read() or ""))
+        assert time.monotonic() < deadline, "no port file"
+        time.sleep(0.05)
+    return proc, f"http://127.0.0.1:{Path(port_file).read_text().strip()}"
+
+
+class TestDaemonLifecycle:
+    """Subprocess SIGTERM/SIGKILL behavior — the real process boundary."""
+
+    def test_sigterm_drains_inflight_and_exits_zero(self, tmp_path):
+        proc, url = _spawn_serve(tmp_path / "cache", tmp_path / "port")
+        try:
+            client = ServeClient(url)
+            assert client.wait_ready(60)
+            result = {}
+
+            def submit():
+                result["response"] = client.submit("stall_table",
+                                                   suite="quick")
+
+            worker = threading.Thread(target=submit)
+            worker.start()
+            watcher = ServeClient(url)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:  # wait for admission
+                if watcher.stats()["inflight"] >= 1:
+                    break
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=120)
+            worker.join(timeout=30)
+            assert code == 0, proc.stderr.read()
+            # The in-flight request finished before the exit.
+            assert result["response"]["failed"] == 0
+            assert len(result["response"]["artifact"]["rows"]) > 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigkill_then_restart_readopts_journal(self, tmp_path):
+        cache = tmp_path / "cache"
+        # Phase 1: the first job hangs far past its (huge) timeout, so
+        # the daemon dies mid-run with an unfinished journal.
+        proc, url = _spawn_serve(
+            cache, tmp_path / "port1",
+            extra_env={"REPRO_FAULTS": "hang=1:1", "REPRO_FAULTS_SEED": "0",
+                       "REPRO_JOB_TIMEOUT": "600"})
+        try:
+            client = ServeClient(url)
+            assert client.wait_ready(60)
+            response = client.submit("stall_table", suite="quick",
+                                     deadline_s=0.5)
+            assert response["deadline_expired"] is True
+        finally:
+            proc.kill()
+            proc.wait()
+        with temporary_cache_dir(cache):
+            unfinished = [r for r in list_runs()
+                          if not RunJournal.load(r).complete]
+        assert len(unfinished) == 1
+
+        # Phase 2: a clean restart re-adopts and finishes the run
+        # before reporting ready.
+        proc, url = _spawn_serve(cache, tmp_path / "port2")
+        try:
+            client = ServeClient(url)
+            assert client.wait_ready(120)
+            stats = client.stats()
+            assert stats["counters"]["recovered_runs"] == 1
+            assert stats["counters"]["recovery_failures"] == 0
+            # Re-submitting is answered warm: no further execution.
+            executed = stats["engine"]["executed"]["jobs"]
+            warm = client.submit("stall_table", suite="quick")
+            assert warm["failed"] == 0
+            assert client.stats()["engine"]["executed"]["jobs"] == executed
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        with temporary_cache_dir(cache):
+            assert [r for r in list_runs()
+                    if not RunJournal.load(r).complete] == []

@@ -9,7 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.eval.supervise import (JobFailure, JobTimeout, Supervisor,
-                                  job_deadline, run_serial)
+                                  backoff_delay, job_deadline, run_serial)
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 needs_fork = pytest.mark.skipif(not HAS_FORK, reason="needs fork workers")
@@ -293,3 +293,26 @@ class TestSupervisor:
         assert failures == []
         assert landed == {"a": "a", "b": "b"}
         assert not sup.used_processes
+
+
+class TestBackoffJitter:
+    """Jittered exponential backoff, deterministic under the chaos seed."""
+
+    def test_zero_backoff_is_zero(self):
+        assert backoff_delay(0.0, 3, "token") == 0.0
+
+    def test_jitter_stays_within_half_to_full_base(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+        for attempt in range(4):
+            base = 0.2 * 2.0 ** attempt
+            delay = backoff_delay(0.2, attempt, "token")
+            assert 0.5 * base <= delay <= base
+
+    def test_deterministic_under_faults_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "7")
+        first = backoff_delay(0.5, 2, "job-a")
+        assert first == backoff_delay(0.5, 2, "job-a")
+        assert first != backoff_delay(0.5, 2, "job-b")   # token-keyed
+        assert first != backoff_delay(0.5, 3, "job-a")   # attempt-keyed
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "8")
+        assert first != backoff_delay(0.5, 2, "job-a")   # seed-keyed
