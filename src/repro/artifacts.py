@@ -1,0 +1,949 @@
+"""Durable content-addressed artifact store: the data layer under the
+sweep engine.
+
+PRs 6–7 made sweep *execution* and *serving* crash-tolerant, but the
+expensive cached artifacts they rest on — partitions, trained-model
+results, simulation reports, encoded workloads — were anonymous pickle
+blobs whose only integrity story was a checksum footer.  This module
+promotes them to first-class artifacts, following the two-stage design
+of SNIPPETS.md's Lambda-Hat (Stage A builds a content-addressed target
+once, Stage B consumes it many times):
+
+- **Content-addressed ids.**  ``art_<sha256-prefix>`` derived from a
+  canonical JSON manifest of the *inputs* (kind, source digests,
+  config/graph fingerprints, producer version) — the same inputs always
+  name the same artifact, across processes and machines.
+
+- **Crash-safe writes.**  Every entry is a directory holding
+  ``payload.bin`` and ``manifest.json``.  A write goes: payload to a
+  private temp directory → fsync → manifest (carrying the payload's
+  sha256) → fsync → fsync the temp dir → one atomic :func:`os.rename`
+  into ``objects/`` → fsync the parent.  A SIGKILL at any instant
+  leaves either a complete, verifiable entry or droppable garbage under
+  ``tmp/`` — never a half-written entry under ``objects/``.
+
+- **Lock-free concurrent writers.**  Same-id writers race on the final
+  rename; the loser's rename fails (the entry directory already
+  exists), it discards its temp directory, and both converge on one
+  valid entry.  Asserted under kill injection in
+  ``tests/test_artifacts.py``.
+
+- **Verification and quarantine.**  Every read re-hashes the payload
+  against its manifest (``REPRO_ARTIFACTS_VERIFY_READS=0`` opts out);
+  :meth:`ArtifactStore.verify` re-hashes the whole corpus.  A corrupt
+  entry is never served and never silently unlinked: it is *moved
+  aside* into ``quarantine/`` with a ``reason.json`` record, and the
+  next reference rebuilds it (:meth:`ArtifactStore.get_or_build`).
+
+- **GC with liveness.**  :meth:`ArtifactStore.gc` marks live ids from
+  the run journals under ``<cache>/runs/`` plus explicitly pinned ids,
+  then sweeps the rest — dry-run by default, with ``keep_days`` as an
+  age guard and ``apply`` to actually delete.
+
+- **Verified export/import.**  :meth:`ArtifactStore.export` writes a
+  manifest-listed tarball or rsync-able directory tree (every entry
+  re-hashed on the way out); :meth:`ArtifactStore.import_` re-checksums
+  every entry against both its manifest and the corpus index, re-derives
+  each id from its manifest, and rejects partial or tampered archives
+  *before* publishing anything — so a warm corpus can ship to a worker
+  fleet and be trusted on arrival.
+
+Layout under ``<REPRO_CACHE_DIR>/artifacts/v1/``::
+
+    objects/art_<hex16>/manifest.json     # canonical inputs + payload digest
+    objects/art_<hex16>/payload.bin       # pickled value
+    tmp/<id>.<pid>.<token>/               # in-progress writes (droppable)
+    quarantine/<id>.<token>/              # corrupt entries + reason.json
+    pins.txt                              # one pinned id per line
+
+Environment knobs:
+
+- ``REPRO_ARTIFACTS_FSYNC`` — ``0`` skips the fsync barriers (faster,
+  loses power-loss durability; default ``1``);
+- ``REPRO_ARTIFACTS_VERIFY_READS`` — ``0`` skips the per-read payload
+  re-hash (``verify`` still checks everything; default ``1``);
+- ``REPRO_ARTIFACTS_SPILL_BYTES`` — size at which
+  :class:`~repro.perf.cache.DiskCache` entries spill into this store
+  (default 262144).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tarfile
+import time
+import warnings
+from pathlib import Path
+from zlib import error as zlib_error
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "STORE_VERSION",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "ArtifactStore",
+    "artifact_store",
+    "derive_artifact_id",
+    "canonical_inputs",
+]
+
+T = TypeVar("T")
+
+# Bump when the on-disk entry layout changes incompatibly.
+STORE_VERSION = 1
+ARTIFACT_SCHEMA = "repro.artifact/v1"
+CORPUS_SCHEMA = "repro.artifact-corpus/v1"
+
+_ID_PREFIX = "art_"
+_ID_HEX = 16
+_MISS = object()
+
+_JSON_SCALARS = (str, int, float, bool)
+
+
+class ArtifactError(Exception):
+    """Base error for artifact-store operations."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An entry or archive failed its checksum/manifest validation."""
+
+
+def _fsync_enabled() -> bool:
+    from .envutil import env_int
+
+    return env_int("REPRO_ARTIFACTS_FSYNC", 1) != 0
+
+
+def _verify_reads() -> bool:
+    from .envutil import env_int
+
+    return env_int("REPRO_ARTIFACTS_VERIFY_READS", 1) != 0
+
+
+# Module-level write-path helpers: the crash-injection tests monkeypatch
+# these to SIGKILL a writer at a precise point (pre-fsync, post-payload,
+# pre-rename), so keep them as named seams rather than inlined calls.
+
+def _fsync_file(fh) -> None:
+    if _fsync_enabled():
+        fh.flush()
+        os.fsync(fh.fileno())
+    else:
+        fh.flush()
+
+
+def _fsync_dir(path: Path) -> None:
+    if not _fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_bytes(path: Path, data: bytes) -> None:
+    with open(path, "wb") as fh:
+        fh.write(data)
+        _fsync_file(fh)
+
+
+def _write_manifest(path: Path, manifest: Dict) -> None:
+    _write_bytes(path, json.dumps(manifest, sort_keys=True,
+                                  indent=1).encode())
+
+
+def _publish(src: Path, dst: Path) -> None:
+    """Atomically rename a complete temp entry into ``objects/``."""
+    os.rename(src, dst)
+
+
+def canonical_inputs(inputs) -> Dict:
+    """Coerce an inputs mapping to a canonical JSON-primitive dict.
+
+    Tuples become lists, numpy scalars become Python scalars, and any
+    value that cannot be represented as JSON primitives raises — an id
+    derived from a lossy repr would silently collide or drift.
+    """
+    def coerce(value):
+        if value is None or isinstance(value, _JSON_SCALARS):
+            return value
+        if hasattr(value, "item") and not hasattr(value, "__len__"):
+            return value.item()  # numpy scalar
+        if isinstance(value, (list, tuple)):
+            return [coerce(v) for v in value]
+        if isinstance(value, dict):
+            return {str(k): coerce(v) for k, v in sorted(value.items())}
+        raise ArtifactError(
+            f"artifact inputs must be JSON-primitive; got "
+            f"{type(value).__name__}: {value!r}")
+
+    if not isinstance(inputs, dict):
+        raise ArtifactError(f"artifact inputs must be a dict, got "
+                            f"{type(inputs).__name__}")
+    return {str(k): coerce(v) for k, v in sorted(inputs.items())}
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_artifact_id(kind: str, inputs: Dict,
+                       producer: Optional[str] = None) -> str:
+    """``art_<sha256-prefix>`` of the canonical (kind, inputs, producer)
+    manifest.  ``producer`` defaults to the repo source digest
+    (:func:`repro.perf.cache.code_version`), so artifacts — like every
+    other cached result — are invalidated by any code change that could
+    alter them."""
+    if producer is None:
+        from .perf.cache import code_version
+
+        producer = code_version()
+    digest = hashlib.sha256(_canonical_json(
+        {"kind": kind, "inputs": canonical_inputs(inputs),
+         "producer": producer}).encode()).hexdigest()
+    return _ID_PREFIX + digest[:_ID_HEX]
+
+
+def _valid_id(art_id: str) -> bool:
+    return (isinstance(art_id, str) and art_id.startswith(_ID_PREFIX)
+            and len(art_id) == len(_ID_PREFIX) + _ID_HEX
+            and all(c in "0123456789abcdef" for c in art_id[len(_ID_PREFIX):]))
+
+
+def _new_token() -> str:
+    import secrets
+
+    return secrets.token_hex(4)
+
+
+class ArtifactStore:
+    """Content-addressed, crash-safe artifact store (see module docs)."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        from .perf.cache import default_cache_dir
+
+        base = Path(directory) if directory is not None else default_cache_dir()
+        self.base = base
+        self.root = base / "artifacts" / f"v{STORE_VERSION}"
+        self.objects = self.root / "objects"
+        self.tmp = self.root / "tmp"
+        self.quarantine_root = self.root / "quarantine"
+        self.pins_path = self.root / "pins.txt"
+        # Robustness accounting, surfaced through stats() and the engine.
+        self.puts = 0
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+        self.races_lost = 0
+        self.quarantined = 0
+        self.write_failures = 0
+        self.io_errors = 0
+        self._write_disabled = False
+        self._warned_quarantine = False
+        self._warned_readonly = False
+
+    # -- paths -------------------------------------------------------------
+    def entry_dir(self, art_id: str) -> Path:
+        return self.objects / art_id
+
+    def manifest_path(self, art_id: str) -> Path:
+        return self.entry_dir(art_id) / "manifest.json"
+
+    def payload_path(self, art_id: str) -> Path:
+        return self.entry_dir(art_id) / "payload.bin"
+
+    def derive_id(self, kind: str, inputs: Dict,
+                  producer: Optional[str] = None) -> str:
+        return derive_artifact_id(kind, inputs, producer=producer)
+
+    # -- writes ------------------------------------------------------------
+    def put(self, kind: str, inputs: Dict, value, meta: Optional[Dict] = None,
+            producer: Optional[str] = None) -> Optional[str]:
+        """Store one artifact; returns its id, or ``None`` if the write
+        could not land (read-only store, unpicklable value).
+
+        An id that already exists in ``objects/`` is a success — the
+        content address guarantees equivalence, so concurrent and repeat
+        writers converge without locks.
+        """
+        if producer is None:
+            from .perf.cache import code_version
+
+            producer = code_version()
+        art_id = derive_artifact_id(kind, inputs, producer=producer)
+        if self.entry_dir(art_id).is_dir():
+            return art_id
+        if self._write_disabled:
+            return None
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.write_failures += 1
+            return None
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "id": art_id,
+            "kind": kind,
+            "inputs": canonical_inputs(inputs),
+            "producer": producer,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "created": time.time(),
+            "meta": dict(meta or {}),
+        }
+        return art_id if self._write_entry(art_id, manifest, payload) else None
+
+    def _write_entry(self, art_id: str, manifest: Dict,
+                     payload: bytes) -> bool:
+        """The crash-safe write protocol; returns True once a complete
+        entry is visible under ``objects/`` (ours or a racer's)."""
+        from . import faults
+
+        injector = faults.active_injector()
+        tmpdir: Optional[Path] = None
+        try:
+            if injector is not None:
+                injector.on_artifact_write_start(art_id)
+            self.tmp.mkdir(parents=True, exist_ok=True)
+            tmpdir = self.tmp / f"{art_id}.{os.getpid()}.{_new_token()}"
+            tmpdir.mkdir()
+            _write_bytes(tmpdir / "payload.bin", payload)
+            _write_manifest(tmpdir / "manifest.json", manifest)
+            _fsync_dir(tmpdir)
+            if injector is not None and injector.on_artifact_publishing(art_id):
+                # torn_rename fault: the writer "crashed" after making the
+                # temp entry durable but before publication — leave the
+                # droppable garbage for verify/gc to sweep.
+                return False
+            self.objects.mkdir(parents=True, exist_ok=True)
+            target = self.entry_dir(art_id)
+            try:
+                _publish(tmpdir, target)
+            except OSError as exc:
+                if exc.errno in (errno.EEXIST, errno.ENOTEMPTY, errno.EISDIR):
+                    # Lost the publication race: a complete same-id entry
+                    # is already visible.  Converge on it.
+                    self.races_lost += 1
+                    shutil.rmtree(tmpdir, ignore_errors=True)
+                    return True
+                raise
+            _fsync_dir(self.objects)
+            self.puts += 1
+            if injector is not None:
+                injector.on_artifact_published(target / "payload.bin", art_id)
+            return True
+        except Exception as exc:
+            self.write_failures += 1
+            if isinstance(exc, OSError) and exc.errno in (
+                    errno.EROFS, errno.EACCES, errno.EPERM):
+                self._write_disabled = True
+                if not self._warned_readonly:
+                    self._warned_readonly = True
+                    warnings.warn(
+                        f"artifact store at {self.root} is unwritable "
+                        f"({exc}) while storing {art_id}; degrading to "
+                        f"rebuild-on-demand for the rest of this process",
+                        RuntimeWarning, stacklevel=4)
+            if tmpdir is not None:
+                shutil.rmtree(tmpdir, ignore_errors=True)
+            return False
+
+    # -- reads -------------------------------------------------------------
+    def read_manifest(self, art_id: str) -> Dict:
+        """Parse and structurally validate one entry's manifest."""
+        raw = self.manifest_path(art_id).read_bytes()
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ArtifactIntegrityError(
+                f"{art_id}: manifest is not valid JSON ({exc})") from None
+        if not isinstance(manifest, dict):
+            raise ArtifactIntegrityError(f"{art_id}: manifest is not a map")
+        if manifest.get("schema") != ARTIFACT_SCHEMA:
+            raise ArtifactIntegrityError(
+                f"{art_id}: manifest schema {manifest.get('schema')!r} != "
+                f"{ARTIFACT_SCHEMA!r}")
+        if manifest.get("id") != art_id:
+            raise ArtifactIntegrityError(
+                f"{art_id}: manifest claims id {manifest.get('id')!r}")
+        for field in ("kind", "payload_sha256"):
+            if not isinstance(manifest.get(field), str) or not manifest[field]:
+                raise ArtifactIntegrityError(
+                    f"{art_id}: manifest field {field!r} missing or empty")
+        return manifest
+
+    def _checked_payload(self, art_id: str, manifest: Dict,
+                         verify: bool = True) -> bytes:
+        payload = self.payload_path(art_id).read_bytes()
+        if verify:
+            if len(payload) != manifest.get("payload_bytes"):
+                raise ArtifactIntegrityError(
+                    f"{art_id}: payload is {len(payload)} bytes, manifest "
+                    f"promises {manifest.get('payload_bytes')}")
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != manifest["payload_sha256"]:
+                raise ArtifactIntegrityError(
+                    f"{art_id}: payload sha256 {digest[:12]}… does not match "
+                    f"manifest {manifest['payload_sha256'][:12]}…")
+        return payload
+
+    def get(self, art_id: str, default: Optional[T] = None) -> Optional[T]:
+        """Load one artifact's value; a corrupt entry is quarantined and
+        reads as a miss (rebuilt by the caller), never served."""
+        self.gets += 1
+        try:
+            manifest = self.read_manifest(art_id)
+            payload = self._checked_payload(art_id, manifest,
+                                            verify=_verify_reads())
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except ArtifactIntegrityError as exc:
+            self.misses += 1
+            self._quarantine(art_id, str(exc))
+            return default
+        except OSError:
+            self.misses += 1
+            self.io_errors += 1
+            return default
+        try:
+            value = pickle.loads(payload)
+        except Exception as exc:
+            # The payload hashed clean but does not unpickle: a producer
+            # bug or cross-version pickle, not bit rot — quarantine with
+            # the distinct reason so operators can tell them apart.
+            self.misses += 1
+            self._quarantine(art_id, f"payload does not unpickle: {exc}")
+            return default
+        self.hits += 1
+        return value
+
+    def get_or_build(self, kind: str, inputs: Dict, build: Callable[[], T],
+                     meta: Optional[Dict] = None,
+                     producer: Optional[str] = None) -> Tuple[T, str]:
+        """Resolve (value, id) through the store, building on miss.
+
+        The Stage-A/Stage-B contract: the first caller builds and
+        publishes, every later caller — any process, any machine the
+        corpus was exported to — loads the same id.
+        """
+        art_id = derive_artifact_id(kind, inputs, producer=producer)
+        value = self.get(art_id, _MISS)
+        if value is _MISS:
+            value = build()
+            self.put(kind, inputs, value, meta=meta, producer=producer)
+        return value, art_id
+
+    def __contains__(self, art_id: str) -> bool:
+        return self.manifest_path(art_id).is_file()
+
+    # -- quarantine --------------------------------------------------------
+    def _quarantine(self, art_id: str, reason: str) -> Optional[Path]:
+        """Move a corrupt entry aside with a reason record."""
+        self.quarantined += 1
+        if not self._warned_quarantine:
+            self._warned_quarantine = True
+            warnings.warn(
+                f"artifact store at {self.root} quarantined corrupt entry "
+                f"{art_id} ({reason}); it will be rebuilt on next "
+                f"reference. Further quarantines from this store are "
+                f"counted in stats() but not re-warned.",
+                RuntimeWarning, stacklevel=4)
+        dest = self.quarantine_root / f"{art_id}.{_new_token()}"
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.rename(self.entry_dir(art_id), dest)
+            _write_manifest(dest / "reason.json", {
+                "id": art_id, "reason": reason, "at": time.time()})
+            return dest
+        except OSError:
+            # Could not move it aside (read-only disk): drop our claim to
+            # serve it — it still never reads as a hit because the next
+            # get re-detects the corruption.
+            return None
+
+    def quarantine_entries(self) -> List[Dict]:
+        """Reason records of everything currently quarantined."""
+        records: List[Dict] = []
+        try:
+            entries = sorted(self.quarantine_root.iterdir())
+        except OSError:
+            return records
+        for entry in entries:
+            record = {"entry": entry.name, "id": entry.name.split(".")[0]}
+            try:
+                record.update(json.loads((entry / "reason.json").read_bytes()))
+            except (OSError, json.JSONDecodeError, ValueError):
+                record["reason"] = "unreadable reason record"
+            records.append(record)
+        return records
+
+    # -- verification ------------------------------------------------------
+    def verify(self, sweep_tmp: bool = True) -> Dict:
+        """Re-hash every payload against its manifest; quarantine what
+        fails; optionally sweep dead in-progress temp directories.
+
+        Returns ``{"checked", "ok", "quarantined": [{id, reason}],
+        "swept_tmp", "quarantine_entries"}``.
+        """
+        checked = ok = 0
+        newly_quarantined: List[Dict] = []
+        try:
+            entries = sorted(self.objects.iterdir())
+        except OSError:
+            entries = []
+        for entry in entries:
+            if not entry.is_dir():
+                continue
+            checked += 1
+            art_id = entry.name
+            try:
+                if not _valid_id(art_id):
+                    raise ArtifactIntegrityError(
+                        f"{art_id}: not a valid artifact id")
+                manifest = self.read_manifest(art_id)
+                self._checked_payload(art_id, manifest, verify=True)
+                # The id itself must re-derive from the manifest inputs:
+                # a tampered manifest with a self-consistent payload hash
+                # would otherwise pass.
+                expected = derive_artifact_id(manifest["kind"],
+                                              manifest.get("inputs", {}),
+                                              producer=manifest.get("producer"))
+                if expected != art_id:
+                    raise ArtifactIntegrityError(
+                        f"{art_id}: id does not re-derive from manifest "
+                        f"inputs (expected {expected})")
+                ok += 1
+            except (ArtifactIntegrityError, OSError, KeyError) as exc:
+                reason = str(exc) or type(exc).__name__
+                self._quarantine(art_id, reason)
+                newly_quarantined.append({"id": art_id, "reason": reason})
+        swept = self._sweep_tmp() if sweep_tmp else 0
+        return {"checked": checked, "ok": ok,
+                "quarantined": newly_quarantined, "swept_tmp": swept,
+                "quarantine_entries": len(self.quarantine_entries())}
+
+    def _sweep_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Remove in-progress temp dirs whose writer died (pid gone) or
+        that are older than ``max_age_s`` — the droppable garbage a
+        crash mid-write leaves behind."""
+        swept = 0
+        try:
+            entries = list(self.tmp.iterdir())
+        except OSError:
+            return 0
+        now = time.time()
+        for entry in entries:
+            parts = entry.name.split(".")
+            stale = False
+            if len(parts) >= 2 and parts[1].isdigit():
+                pid = int(parts[1])
+                if pid != os.getpid():
+                    try:
+                        os.kill(pid, 0)
+                    except ProcessLookupError:
+                        stale = True
+                    except OSError:
+                        pass
+            if not stale:
+                try:
+                    stale = now - entry.stat().st_mtime > max_age_s
+                except OSError:
+                    continue
+            if stale:
+                shutil.rmtree(entry, ignore_errors=True)
+                swept += 1
+        return swept
+
+    # -- listing -----------------------------------------------------------
+    def ids(self) -> List[str]:
+        try:
+            return sorted(p.name for p in self.objects.iterdir()
+                          if p.is_dir())
+        except OSError:
+            return []
+
+    def list_entries(self) -> List[Dict]:
+        """Manifest summaries of every entry (unreadable ones flagged)."""
+        records: List[Dict] = []
+        for art_id in self.ids():
+            try:
+                manifest = self.read_manifest(art_id)
+                records.append({
+                    "id": art_id,
+                    "kind": manifest["kind"],
+                    "payload_bytes": manifest.get("payload_bytes", 0),
+                    "created": manifest.get("created"),
+                    "producer": manifest.get("producer", ""),
+                    "meta": manifest.get("meta", {}),
+                })
+            except (OSError, ArtifactIntegrityError) as exc:
+                records.append({"id": art_id, "kind": "<unreadable>",
+                                "error": str(exc)})
+        return records
+
+    # -- pins --------------------------------------------------------------
+    def pins(self) -> Set[str]:
+        try:
+            return {line.strip() for line in
+                    self.pins_path.read_text().splitlines()
+                    if line.strip()}
+        except OSError:
+            return set()
+
+    def pin(self, art_id: str) -> None:
+        pins = self.pins()
+        if art_id in pins:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.pins_path, "a") as fh:
+            fh.write(art_id + "\n")
+            _fsync_file(fh)
+
+    def unpin(self, art_id: str) -> None:
+        pins = self.pins()
+        if art_id not in pins:
+            return
+        pins.discard(art_id)
+        tmp = self.pins_path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            fh.write("".join(sorted(f"{p}\n" for p in pins)))
+            _fsync_file(fh)
+        os.replace(tmp, self.pins_path)
+
+    # -- gc ----------------------------------------------------------------
+    def live_ids(self) -> Set[str]:
+        """Pinned ids plus every artifact id referenced by a run journal
+        under the same cache directory."""
+        from .eval.journal import referenced_artifacts
+
+        return self.pins() | referenced_artifacts(directory=self.base)
+
+    def gc(self, keep_days: Optional[float] = None, apply: bool = False,
+           now: Optional[float] = None) -> Dict:
+        """Sweep unreferenced entries (dry-run unless ``apply``).
+
+        Liveness comes from :meth:`live_ids`; ``keep_days`` additionally
+        protects entries newer than that age whether or not anything
+        references them (the default ``None`` protects nothing by age).
+        Quarantined entries and dead temp dirs are always sweep
+        candidates.  Returns the plan/outcome: ``{"removed", "kept_live",
+        "kept_young", "quarantine_removed", "swept_tmp", "dry_run"}``.
+        """
+        now = time.time() if now is None else now
+        cutoff = None if keep_days is None else now - keep_days * 86400.0
+        live = self.live_ids()
+        removed: List[str] = []
+        kept_live: List[str] = []
+        kept_young: List[str] = []
+        for art_id in self.ids():
+            if art_id in live:
+                kept_live.append(art_id)
+                continue
+            if cutoff is not None:
+                try:
+                    created = self.read_manifest(art_id).get("created")
+                except (OSError, ArtifactIntegrityError):
+                    created = None
+                if created is None:
+                    try:
+                        created = self.entry_dir(art_id).stat().st_mtime
+                    except OSError:
+                        created = now
+                if created >= cutoff:
+                    kept_young.append(art_id)
+                    continue
+            removed.append(art_id)
+            if apply:
+                shutil.rmtree(self.entry_dir(art_id), ignore_errors=True)
+        quarantine_removed: List[str] = []
+        try:
+            quarantine_entries = sorted(self.quarantine_root.iterdir())
+        except OSError:
+            quarantine_entries = []
+        for entry in quarantine_entries:
+            quarantine_removed.append(entry.name)
+            if apply:
+                shutil.rmtree(entry, ignore_errors=True)
+        swept_tmp = self._sweep_tmp() if apply else 0
+        return {"removed": removed, "kept_live": kept_live,
+                "kept_young": kept_young,
+                "quarantine_removed": quarantine_removed,
+                "swept_tmp": swept_tmp, "dry_run": not apply}
+
+    # -- export / import ---------------------------------------------------
+    @staticmethod
+    def _is_tar(dest: os.PathLike) -> bool:
+        name = str(dest)
+        return name.endswith((".tar", ".tar.gz", ".tgz"))
+
+    def _export_records(self, ids: Optional[Sequence[str]]) -> Tuple[
+            List[Dict], List[Dict]]:
+        """Verify each entry on its way out; corrupt ones are quarantined
+        and excluded (reported), so an export is trustworthy by
+        construction."""
+        selected = list(ids) if ids is not None else self.ids()
+        records: List[Dict] = []
+        skipped: List[Dict] = []
+        for art_id in selected:
+            try:
+                manifest = self.read_manifest(art_id)
+                self._checked_payload(art_id, manifest, verify=True)
+            except FileNotFoundError:
+                raise ArtifactError(f"cannot export unknown artifact "
+                                    f"{art_id!r}") from None
+            except (ArtifactIntegrityError, OSError) as exc:
+                reason = str(exc)
+                self._quarantine(art_id, reason)
+                skipped.append({"id": art_id, "reason": reason})
+                continue
+            records.append({
+                "id": art_id,
+                "kind": manifest["kind"],
+                "payload_sha256": manifest["payload_sha256"],
+                "payload_bytes": manifest["payload_bytes"],
+            })
+        return records, skipped
+
+    def export(self, dest: os.PathLike,
+               ids: Optional[Sequence[str]] = None) -> Dict:
+        """Write a verified, manifest-listed corpus: a tarball when
+        ``dest`` ends in ``.tar``/``.tar.gz``/``.tgz``, else an
+        rsync-able directory tree mirroring the store layout."""
+        records, skipped = self._export_records(ids)
+        corpus = {"schema": CORPUS_SCHEMA, "created": time.time(),
+                  "entries": records}
+        dest = Path(dest)
+        if self._is_tar(dest):
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            tmp = dest.with_name(dest.name + f".tmp.{os.getpid()}")
+            mode = "w:gz" if str(dest).endswith(("gz", "tgz")) else "w"
+            try:
+                with tarfile.open(tmp, mode) as tar:
+                    corpus_bytes = json.dumps(corpus, sort_keys=True,
+                                              indent=1).encode()
+                    info = tarfile.TarInfo("corpus.json")
+                    info.size = len(corpus_bytes)
+                    import io
+
+                    tar.addfile(info, io.BytesIO(corpus_bytes))
+                    for record in records:
+                        art_id = record["id"]
+                        tar.add(self.manifest_path(art_id),
+                                arcname=f"objects/{art_id}/manifest.json")
+                        tar.add(self.payload_path(art_id),
+                                arcname=f"objects/{art_id}/payload.bin")
+                os.replace(tmp, dest)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+        else:
+            objects = dest / "objects"
+            objects.mkdir(parents=True, exist_ok=True)
+            for record in records:
+                art_id = record["id"]
+                entry_tmp = dest / f".tmp.{art_id}.{os.getpid()}"
+                shutil.rmtree(entry_tmp, ignore_errors=True)
+                shutil.copytree(self.entry_dir(art_id), entry_tmp)
+                target = objects / art_id
+                try:
+                    os.rename(entry_tmp, target)
+                except OSError as exc:
+                    if exc.errno not in (errno.EEXIST, errno.ENOTEMPTY,
+                                         errno.EISDIR):
+                        raise
+                    shutil.rmtree(entry_tmp, ignore_errors=True)
+            # The corpus index lands last: its presence marks a complete
+            # export (import refuses trees without it).
+            _write_manifest(dest / "corpus.json", corpus)
+        return {"dest": str(dest), "exported": len(records),
+                "skipped": skipped,
+                "bytes": sum(r["payload_bytes"] for r in records)}
+
+    def _iter_archive(self, src: Path):
+        """Yield ``(art_id, manifest_bytes, payload_bytes)`` for every
+        entry listed by the archive's corpus index, raising
+        :class:`ArtifactIntegrityError` on missing pieces."""
+        if self._is_tar(src):
+            try:
+                with tarfile.open(src, "r:*") as tar:
+                    blobs: Dict[str, bytes] = {}
+                    for member in tar.getmembers():
+                        if not member.isfile():
+                            continue
+                        fh = tar.extractfile(member)
+                        if fh is not None:
+                            blobs[member.name] = fh.read()
+            except (tarfile.TarError, EOFError, zlib_error) as exc:
+                # A truncated or bit-flipped archive fails at the
+                # container layer (gzip/tar), before any per-entry
+                # check can run — same verdict: reject it whole.
+                raise ArtifactIntegrityError(
+                    f"{src}: archive is unreadable — truncated or "
+                    f"corrupt ({exc})") from None
+            corpus_raw = blobs.get("corpus.json")
+            if corpus_raw is None:
+                raise ArtifactIntegrityError(
+                    f"{src}: archive has no corpus.json index")
+            corpus = self._parse_corpus(src, corpus_raw)
+            for record in corpus["entries"]:
+                art_id = record["id"]
+                manifest = blobs.get(f"objects/{art_id}/manifest.json")
+                payload = blobs.get(f"objects/{art_id}/payload.bin")
+                if manifest is None or payload is None:
+                    raise ArtifactIntegrityError(
+                        f"{src}: archive is partial — entry {art_id} "
+                        f"listed in corpus.json is missing")
+                yield record, manifest, payload
+        else:
+            corpus_path = src / "corpus.json"
+            if not corpus_path.is_file():
+                raise ArtifactIntegrityError(
+                    f"{src}: tree has no corpus.json index (incomplete "
+                    f"export?)")
+            corpus = self._parse_corpus(src, corpus_path.read_bytes())
+            for record in corpus["entries"]:
+                art_id = record["id"]
+                mpath = src / "objects" / art_id / "manifest.json"
+                ppath = src / "objects" / art_id / "payload.bin"
+                try:
+                    yield record, mpath.read_bytes(), ppath.read_bytes()
+                except OSError:
+                    raise ArtifactIntegrityError(
+                        f"{src}: tree is partial — entry {art_id} listed "
+                        f"in corpus.json is missing") from None
+
+    @staticmethod
+    def _parse_corpus(src, raw: bytes) -> Dict:
+        try:
+            corpus = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ArtifactIntegrityError(
+                f"{src}: corpus.json is not valid JSON ({exc})") from None
+        if (not isinstance(corpus, dict)
+                or corpus.get("schema") != CORPUS_SCHEMA
+                or not isinstance(corpus.get("entries"), list)):
+            raise ArtifactIntegrityError(
+                f"{src}: corpus.json does not match {CORPUS_SCHEMA!r}")
+        return corpus
+
+    def import_(self, src: os.PathLike) -> Dict:
+        """Import a corpus, re-checksumming every entry and rejecting
+        partial or tampered archives before publishing anything.
+
+        Validation per entry: the payload re-hashes to both the entry
+        manifest's and the corpus index's sha256, and the id re-derives
+        from the manifest's (kind, inputs, producer) — so neither a
+        flipped payload byte, a truncated archive, nor an edited
+        manifest can smuggle a wrong value under a trusted id.
+        """
+        src = Path(src)
+        staged: List[Tuple[str, Dict, bytes]] = []
+        for record, manifest_raw, payload in self._iter_archive(src):
+            art_id = record.get("id", "")
+            if not _valid_id(art_id):
+                raise ArtifactIntegrityError(
+                    f"{src}: corpus lists invalid id {art_id!r}")
+            try:
+                manifest = json.loads(manifest_raw)
+            except json.JSONDecodeError as exc:
+                raise ArtifactIntegrityError(
+                    f"{src}: {art_id} manifest is not valid JSON "
+                    f"({exc})") from None
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != record.get("payload_sha256"):
+                raise ArtifactIntegrityError(
+                    f"{src}: {art_id} payload does not match the corpus "
+                    f"index (tampered or torn archive)")
+            if digest != manifest.get("payload_sha256") \
+                    or len(payload) != manifest.get("payload_bytes"):
+                raise ArtifactIntegrityError(
+                    f"{src}: {art_id} payload does not match its manifest")
+            if manifest.get("id") != art_id or manifest.get(
+                    "schema") != ARTIFACT_SCHEMA:
+                raise ArtifactIntegrityError(
+                    f"{src}: {art_id} manifest id/schema mismatch")
+            expected = derive_artifact_id(manifest.get("kind", ""),
+                                          manifest.get("inputs", {}),
+                                          producer=manifest.get("producer"))
+            if expected != art_id:
+                raise ArtifactIntegrityError(
+                    f"{src}: {art_id} does not re-derive from its manifest "
+                    f"inputs (expected {expected}; manifest edited?)")
+            staged.append((art_id, manifest, payload))
+        # Everything validated — publish through the normal crash-safe
+        # protocol (existing local entries win any race and are skipped).
+        imported = skipped = 0
+        for art_id, manifest, payload in staged:
+            if self.entry_dir(art_id).is_dir():
+                skipped += 1
+                continue
+            if self._write_entry(art_id, manifest, payload):
+                imported += 1
+        return {"src": str(src), "verified": len(staged),
+                "imported": imported, "skipped": skipped}
+
+    # -- maintenance -------------------------------------------------------
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+        self.puts = self.gets = self.hits = self.misses = 0
+        self.races_lost = self.quarantined = 0
+        self.write_failures = self.io_errors = 0
+        self._write_disabled = False
+        self._warned_quarantine = self._warned_readonly = False
+
+    def stats(self) -> Dict[str, int]:
+        objects = size_bytes = 0
+        for art_id in self.ids():
+            objects += 1
+            try:
+                size_bytes += self.payload_path(art_id).stat().st_size
+            except OSError:
+                pass
+        try:
+            tmp_entries = sum(1 for _ in self.tmp.iterdir())
+        except OSError:
+            tmp_entries = 0
+        try:
+            quarantine_entries = sum(1 for _ in
+                                     self.quarantine_root.iterdir())
+        except OSError:
+            quarantine_entries = 0
+        return {"objects": objects, "size_bytes": size_bytes,
+                "tmp_entries": tmp_entries,
+                "quarantine_entries": quarantine_entries,
+                "puts": self.puts, "gets": self.gets,
+                "hits": self.hits, "misses": self.misses,
+                "races_lost": self.races_lost,
+                "quarantined": self.quarantined,
+                "write_failures": self.write_failures,
+                "io_errors": self.io_errors}
+
+
+_STORE: Optional[ArtifactStore] = None
+_STORE_BASE: Optional[Path] = None
+
+
+def artifact_store() -> ArtifactStore:
+    """The process-wide store under the *current* cache directory
+    (rebuilt when ``REPRO_CACHE_DIR`` is redirected, e.g. by
+    ``temporary_cache_dir`` in tests)."""
+    global _STORE, _STORE_BASE
+    from .perf.cache import default_cache_dir
+
+    base = default_cache_dir()
+    if _STORE is None or _STORE_BASE != base:
+        _STORE = ArtifactStore(directory=base)
+        _STORE_BASE = base
+    return _STORE

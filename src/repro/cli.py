@@ -18,7 +18,13 @@ Subcommands:
   restart;
 - ``submit`` — client for a running ``serve`` daemon
   (:mod:`repro.client`): bounded retries with jittered backoff,
-  honors the server's ``Retry-After`` backpressure hints.
+  honors the server's ``Retry-After`` backpressure hints;
+- ``artifacts list|show|verify|gc|export|import`` — operate the
+  content-addressed artifact store (:mod:`repro.artifacts`): inspect
+  entries and manifests, re-hash the whole corpus (quarantining what
+  fails), sweep unreferenced entries (dry-run by default), and ship a
+  verified corpus between machines (``export`` → ``import``
+  re-checksums everything and rejects partial/tampered archives).
 
 Examples::
 
@@ -32,6 +38,10 @@ Examples::
     python -m repro serve --port 0 --port-file /tmp/repro.port
     python -m repro submit stall_table --suite quick --url 127.0.0.1:8642
     python -m repro bench --quick
+    python -m repro artifacts verify
+    python -m repro artifacts gc --keep-days 7 --force
+    python -m repro artifacts export corpus.tar.gz
+    python -m repro artifacts import corpus.tar.gz
 
 Scale-scenario sweeps resolve through the same cached engine as every
 other suite: a warm rerun (same ``REPRO_CACHE_DIR``, same code version)
@@ -190,6 +200,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", add_help=False,
         help="hot-kernel + sweep benchmarks (see `python -m repro bench "
              "--help`)")
+
+    art_p = sub.add_parser(
+        "artifacts", help="operate the content-addressed artifact store")
+    art_sub = art_p.add_subparsers(dest="action", required=True)
+    art_sub.add_parser("list", help="list every artifact (id, kind, size)")
+    show_p = art_sub.add_parser("show", help="print one artifact's manifest")
+    show_p.add_argument("id", metavar="ART_ID")
+    verify_p = art_sub.add_parser(
+        "verify", help="re-hash every payload against its manifest; "
+                       "quarantine corrupt entries (exit 1 if any)")
+    verify_p.add_argument("--no-sweep-tmp", action="store_true",
+                          help="keep dead in-progress temp directories")
+    gc_p = art_sub.add_parser(
+        "gc", help="sweep entries not referenced by run journals or pins "
+                   "(dry-run unless --force)")
+    gc_p.add_argument("--keep-days", type=float, default=None, metavar="N",
+                      help="also keep unreferenced entries newer than N days")
+    gc_p.add_argument("--force", action="store_true",
+                      help="actually delete (default: dry-run report)")
+    export_p = art_sub.add_parser(
+        "export", help="write a verified corpus (tarball for *.tar/"
+                       "*.tar.gz/*.tgz destinations, else a directory tree)")
+    export_p.add_argument("dest", metavar="DEST")
+    export_p.add_argument("--ids", default=None, metavar="ID,ID,...",
+                          help="export only these artifact ids (default: "
+                               "everything)")
+    import_p = art_sub.add_parser(
+        "import", help="import a corpus, re-checksumming every entry; "
+                       "partial or tampered archives are rejected whole")
+    import_p.add_argument("src", metavar="SRC")
     return parser
 
 
@@ -408,6 +448,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    import json
+    import tarfile
+
+    from .artifacts import ArtifactIntegrityError, artifact_store
+
+    store = artifact_store()
+    if args.action == "list":
+        entries = store.list_entries()
+        stats = store.stats()
+        print(f"artifact store at {store.root}: {stats['objects']} "
+              f"entr{'y' if stats['objects'] == 1 else 'ies'}, "
+              f"{stats['size_bytes']} bytes payload, "
+              f"{stats['quarantine_entries']} quarantined")
+        for entry in entries:
+            if "error" in entry:
+                print(f"  {entry['id']}  [unreadable: {entry['error']}]")
+            else:
+                print(f"  {entry['id']}  {entry['kind']:<14} "
+                      f"{entry['payload_bytes']:>10} bytes")
+        return 0
+    if args.action == "show":
+        try:
+            manifest = store.read_manifest(args.id)
+        except FileNotFoundError:
+            print(f"error: no artifact {args.id!r} "
+                  f"(see `python -m repro artifacts list`)", file=sys.stderr)
+            return 2
+        except ArtifactIntegrityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    if args.action == "verify":
+        outcome = store.verify(sweep_tmp=not args.no_sweep_tmp)
+        print(f"verified {outcome['checked']} entr"
+              f"{'y' if outcome['checked'] == 1 else 'ies'}: "
+              f"{outcome['ok']} ok, {len(outcome['quarantined'])} "
+              f"quarantined, {outcome['swept_tmp']} stale temp dir(s) swept")
+        for record in outcome["quarantined"]:
+            print(f"  quarantined {record['id']}: {record['reason']}",
+                  file=sys.stderr)
+        return 1 if outcome["quarantined"] else 0
+    if args.action == "gc":
+        outcome = store.gc(keep_days=args.keep_days, apply=args.force)
+        verb = "removed" if args.force else "would remove"
+        print(f"gc: {verb} {len(outcome['removed'])} entr"
+              f"{'y' if len(outcome['removed']) == 1 else 'ies'} "
+              f"(+{len(outcome['quarantine_removed'])} quarantined), kept "
+              f"{len(outcome['kept_live'])} live"
+              + (f", {len(outcome['kept_young'])} young"
+                 if outcome["kept_young"] else "")
+              + ("" if args.force else "  [dry-run: pass --force to delete]"))
+        for art_id in outcome["removed"]:
+            print(f"  {verb} {art_id}")
+        return 0
+    if args.action == "export":
+        from .artifacts import ArtifactError
+
+        ids = ([i.strip() for i in args.ids.split(",") if i.strip()]
+               if args.ids else None)
+        try:
+            outcome = store.export(args.dest, ids=ids)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"exported {outcome['exported']} entr"
+              f"{'y' if outcome['exported'] == 1 else 'ies'} "
+              f"({outcome['bytes']} bytes payload) to {outcome['dest']}")
+        for record in outcome["skipped"]:
+            print(f"  skipped corrupt {record['id']}: {record['reason']}",
+                  file=sys.stderr)
+        return 1 if outcome["skipped"] else 0
+    if args.action == "import":
+        try:
+            outcome = store.import_(args.src)
+        except (ArtifactIntegrityError, OSError, tarfile.TarError) as exc:
+            print(f"error: import rejected: {exc}", file=sys.stderr)
+            return 1
+        print(f"imported {outcome['imported']} entr"
+              f"{'y' if outcome['imported'] == 1 else 'ies'} "
+              f"({outcome['skipped']} already present, "
+              f"{outcome['verified']} verified) from {outcome['src']}")
+        return 0
+    raise AssertionError(f"unhandled artifacts action {args.action!r}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -489,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "artifacts":
+            return _cmd_artifacts(args)
     except RegistryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -17,14 +17,19 @@ same three layers:
 
 1. an in-process memory cache (same object returned for repeat jobs, so
    figure scripts sharing a sweep stay cheap and identity-stable);
-2. a persistent, content-fingerprinted disk cache
-   (:class:`repro.perf.cache.DiskCache`) keyed by the simulated graph's
-   CSR fingerprint, the accelerator/variant and the quantization
-   target, namespaced by the :func:`~repro.perf.cache.code_version`
-   digest — so a second process (another figure script, another CI
-   step) replays a sweep without re-simulating, any code change
-   invalidates every entry, and stale-version entries are pruned rather
-   than accumulated;
+2. a persistent, content-addressed artifact store
+   (:class:`repro.artifacts.ArtifactStore`): each completed job
+   publishes as a first-class artifact (kind ``sim-report`` or
+   ``train-result``) whose id derives from the job's content
+   fingerprint — the simulated graph's CSR fingerprint, the
+   accelerator/variant, the quantization target — plus the
+   :func:`~repro.perf.cache.code_version` producer digest; a second
+   process (another figure script, another CI step, a machine that
+   imported the corpus) replays a sweep without re-simulating, any code
+   change invalidates every entry, and corrupt entries are quarantined
+   and rebuilt rather than served.  A
+   :class:`~repro.perf.cache.DiskCache` keeps the cheap memos (graph
+   fingerprints, workloads, derived tables) beside it;
 3. actual execution, *supervised* (see :mod:`repro.eval.supervise`):
    serially with per-job deadlines and bounded retries, or fanned out
    over forked worker processes the supervisor owns — simulation jobs
@@ -82,6 +87,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .. import faults
+from ..artifacts import ArtifactStore
 from ..envutil import env_float, env_int
 from ..nn import TrainConfig
 from ..perf.cache import (
@@ -293,11 +299,23 @@ class SweepEngine:
         self.workers = _env_workers() if workers is None else max(int(workers), 0)
         self.reports = ContentCache("job_results")
         self.tables = ContentCache("tables")
+        # Job results persist as first-class content-addressed artifacts
+        # (kind "sim-report"/"train-result", id derived from the job
+        # fingerprint + code version), with manifest-backed integrity,
+        # quarantine and export/import; the DiskCache keeps the cheap
+        # memos (graph fingerprints, workloads, derived tables) and
+        # spills its large entries into the same artifact store.
+        self.artifacts: Optional[ArtifactStore] = (
+            ArtifactStore(directory=cache_dir) if use_disk else None)
         # The code-version digest namespaces the store as a directory, so
         # entries orphaned by code changes are pruned, not accumulated.
         self.disk: Optional[DiskCache] = (
-            DiskCache("sweep", directory=cache_dir, namespace=code_version())
+            DiskCache("sweep", directory=cache_dir, namespace=code_version(),
+                      spill_store=self.artifacts)
             if use_disk else None)
+        # Artifact ids this engine resolved or produced (id -> kind),
+        # surfaced in experiment metadata for provenance and GC liveness.
+        self.consumed_artifacts: Dict[str, str] = {}
         # Supervision policy; None defers to the environment knobs at
         # run time (so the CLI and tests can set them per invocation).
         self._retries = retries
@@ -386,6 +404,18 @@ class SweepEngine:
             job.target_average_bits, job.seed,
         )
 
+    @staticmethod
+    def _job_kind(job) -> str:
+        return "train-result" if isinstance(job, TrainJob) else "sim-report"
+
+    def job_artifact_id(self, job, fingerprint: Optional[str] = None) -> str:
+        """The artifact id a completed job persists under."""
+        assert self.artifacts is not None
+        if fingerprint is None:
+            fingerprint = self.job_fingerprint(job)
+        return self.artifacts.derive_id(self._job_kind(job),
+                                        {"fingerprint": fingerprint})
+
     # -- execution ---------------------------------------------------------
     def run(self, jobs: Sequence, workers: Optional[int] = None,
             on_error: str = "raise") -> Dict:
@@ -405,14 +435,17 @@ class SweepEngine:
         unique = list(dict.fromkeys(jobs))
         results: Dict = {}
         pending: List = []
+        sentinel = object()
         for job in unique:
             report = self.reports.get(job)
             if report is not None:
                 results[job] = report
                 continue
-            if self.disk is not None:
-                cached = self.disk.get(self.job_fingerprint(job))
-                if cached is not None:
+            if self.artifacts is not None:
+                art_id = self.job_artifact_id(job)
+                cached = self.artifacts.get(art_id, sentinel)
+                if cached is not sentinel:
+                    self.consumed_artifacts[art_id] = self._job_kind(job)
                     results[job] = self.reports.put(job, cached)
                     continue
             pending.append(job)
@@ -438,18 +471,24 @@ class SweepEngine:
 
     def _store(self, job, report, results: Dict, attempts: int = 1,
                elapsed: float = 0.0) -> None:
-        """Persist one landed result: memory, disk, then journal — in
-        that order, so a journal ``ok`` line always implies the disk
-        entry it promises already exists."""
+        """Persist one landed result: memory, artifact store, then
+        journal — in that order, so a journal ``ok`` line carrying an
+        artifact id always implies the published entry it promises
+        already exists (a failed/torn publish journals without an id,
+        and the job simply re-executes in the next process)."""
         results[job] = self.reports.put(job, report)
         fingerprint: Optional[str] = None
-        if self.disk is not None:
+        art_id: Optional[str] = None
+        if self.artifacts is not None:
             fingerprint = self.job_fingerprint(job)
-            self.disk.put(fingerprint, report)
+            art_id = self.artifacts.put(self._job_kind(job),
+                                        {"fingerprint": fingerprint}, report)
+            if art_id is not None:
+                self.consumed_artifacts[art_id] = self._job_kind(job)
         if self.journal is not None:
             self.journal.record_job(fingerprint or self._safe_fingerprint(job),
                                     "ok", attempts=attempts,
-                                    elapsed_s=elapsed)
+                                    elapsed_s=elapsed, artifact=art_id)
 
     def _record_failure(self, failure: JobFailure) -> None:
         self.failures.append(failure)
@@ -559,10 +598,13 @@ class SweepEngine:
         self.executed_train_jobs = 0
         self.pool_used = False
         self.failures = []
+        self.consumed_artifacts = {}
 
     def clear_disk(self) -> None:
         if self.disk is not None:
             self.disk.clear()
+        if self.artifacts is not None:
+            self.artifacts.clear()
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         out = {"reports": self.reports.stats(), "tables": self.tables.stats(),
@@ -573,6 +615,8 @@ class SweepEngine:
                             "failed_jobs": len(self.failures)}}
         if self.disk is not None:
             out["disk"] = self.disk.stats()
+        if self.artifacts is not None:
+            out["artifacts"] = self.artifacts.stats()
         return out
 
 

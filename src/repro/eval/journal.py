@@ -29,7 +29,8 @@ import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
-__all__ = ["RunJournal", "gc_runs", "new_run_id", "runs_dir", "list_runs"]
+__all__ = ["RunJournal", "gc_runs", "new_run_id", "runs_dir", "list_runs",
+           "referenced_artifacts"]
 
 
 def runs_dir(directory: Optional[os.PathLike] = None) -> Path:
@@ -115,13 +116,14 @@ class RunJournal:
         except OSError as exc:
             self._write_disabled = True
             warnings.warn(
-                f"run journal {self.path} is unwritable ({exc}); the sweep "
-                f"continues but this run cannot be resumed by id",
+                f"run journal for run {self.run_id} at {self.path} is "
+                f"unwritable ({exc}); the sweep continues but this run "
+                f"cannot be resumed by id",
                 RuntimeWarning, stacklevel=2)
 
     def record_job(self, fingerprint: str, status: str, attempts: int = 1,
                    elapsed_s: float = 0.0, error: Optional[str] = None,
-                   kind: str = "") -> None:
+                   kind: str = "", artifact: Optional[str] = None) -> None:
         record = {"type": "job", "fingerprint": fingerprint,
                   "status": status, "attempts": attempts,
                   "elapsed_s": round(elapsed_s, 6)}
@@ -129,6 +131,8 @@ class RunJournal:
             record["error"] = error
         if kind:
             record["kind"] = kind
+        if artifact:
+            record["artifact"] = artifact
         self.append(record)
 
     def record_experiment(self, name: str, executed: int,
@@ -167,6 +171,12 @@ class RunJournal:
         return {r["fingerprint"] for r in self._records
                 if r.get("type") == "job" and r.get("status") == "ok"}
 
+    def artifact_ids(self) -> Set[str]:
+        """Every artifact id this run's job records reference — the
+        journal's contribution to artifact-store GC liveness."""
+        return {r["artifact"] for r in self._records
+                if r.get("type") == "job" and r.get("artifact")}
+
     def failed_jobs(self) -> Set[str]:
         return {r["fingerprint"] for r in self._records
                 if r.get("type") == "job" and r.get("status") == "failed"}
@@ -187,6 +197,21 @@ class RunJournal:
             if record.get("type") == "run":
                 return record.get("created")
         return None
+
+
+def referenced_artifacts(
+        directory: Optional[os.PathLike] = None) -> Set[str]:
+    """Artifact ids referenced by *any* journaled run under the cache
+    directory — the mark set for :meth:`repro.artifacts.ArtifactStore.gc`.
+    Unreadable journals contribute nothing (their runs' artifacts are
+    then only protected by pins or ``keep_days``)."""
+    live: Set[str] = set()
+    for run_id in list_runs(directory):
+        try:
+            live |= RunJournal.load(run_id, directory=directory).artifact_ids()
+        except (OSError, ValueError):
+            continue
+    return live
 
 
 def gc_runs(keep_days: Optional[float] = None, force: bool = False,

@@ -25,8 +25,17 @@ Fault kinds:
 - ``raise`` — raise :class:`InjectedFault` mid-execution;
 - ``corrupt_cache`` — truncate a disk-cache entry right after its
   atomic write, so a later read sees a torn file;
-- ``cache_readonly`` — make the next disk-cache write raise
-  ``PermissionError``, as if the store went read-only mid-sweep;
+- ``cache_readonly`` — make the next disk-cache *or artifact-store*
+  write raise ``PermissionError``, as if the store went read-only
+  mid-sweep;
+- ``corrupt_artifact`` — flip a byte in an artifact payload right after
+  its atomic publish, so a later read must detect the damage against
+  the manifest checksum and quarantine the entry;
+- ``torn_rename`` — abandon an artifact write after its temp entry is
+  durable but *before* the publishing rename, simulating a crash at the
+  narrowest point of the protocol (the caller keeps its in-memory
+  value; the store is left with droppable tmp garbage for
+  ``verify``/``gc`` to sweep);
 - ``serve_drop`` / ``serve_delay`` / ``serve_reject`` — request-path
   faults applied by the :mod:`repro.serve` daemon (connection dropped
   without a response, an injected handling delay, an HTTP 503 reject),
@@ -64,6 +73,7 @@ __all__ = [
 ]
 
 FAULT_KINDS = ("kill", "hang", "raise", "corrupt_cache", "cache_readonly",
+               "corrupt_artifact", "torn_rename",
                "serve_drop", "serve_delay", "serve_reject")
 
 ENV_SPEC = "REPRO_FAULTS"
@@ -239,6 +249,39 @@ class FaultInjector:
                     fh.truncate(max(size // 2, 1))
             except OSError:
                 pass
+
+    def on_artifact_write_start(self, token: str) -> None:
+        """Called by ArtifactStore before staging an entry."""
+        if self.should_fire("cache_readonly", token):
+            raise PermissionError(
+                errno.EACCES, f"injected read-only artifact store for "
+                f"{token}")
+
+    def on_artifact_publishing(self, token: str) -> bool:
+        """Called between the durable temp entry and the publishing
+        rename; True means "the writer crashed here" — the store must
+        abandon the publish, leaving only droppable tmp garbage."""
+        return self.should_fire("torn_rename", token)
+
+    def on_artifact_published(self, path: os.PathLike, token: str) -> None:
+        """Called after an artifact entry's publishing rename landed.
+
+        ``corrupt_cache`` also fires here so a blanket corrupt-everything
+        chaos plan damages both stores; either way a payload byte is
+        flipped, which the manifest checksum must catch on read.
+        """
+        if not (self.should_fire("corrupt_artifact", token)
+                or self.should_fire("corrupt_cache", token)):
+            return
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.seek(max(size // 2 - 1, 0))
+                byte = fh.read(1)
+                fh.seek(max(size // 2 - 1, 0))
+                fh.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+        except OSError:
+            pass
 
 
 _INJECTOR: Optional[FaultInjector] = None

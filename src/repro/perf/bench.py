@@ -33,6 +33,13 @@ loop (in-place optimizers, shared eval forward) against the seed loop
 preserved in :mod:`repro.perf.reference`, asserting bit-identical
 accuracies.
 
+An ``artifact_store`` entry measures the content-addressed artifact
+store (:mod:`repro.artifacts`): put/get/verify/export/import throughput
+over a synthetic corpus — the durable-write fsync barriers and the
+sha256 verify-on-read are part of what is timed — plus a warm-import
+replay (cold sweep on cache A, export → import into fresh cache B,
+replay with zero jobs executed and bit-identical reports).
+
 A ``serve_load`` entry load-tests the :mod:`repro.serve` daemon end to
 end (subprocess, own temp cache): identical concurrent requests must
 dedup to one execution, warm requests must execute zero jobs, a client
@@ -724,6 +731,105 @@ def _bench_serve_load(quick: bool, check: bool = True) -> dict:
     }
 
 
+def _bench_artifact_store(quick: bool, check: bool = True) -> dict:
+    """Throughput of the content-addressed artifact store plus the
+    warm-import replay.
+
+    Two parts: raw put/get/verify/export/import rates over a synthetic
+    corpus (the durable-write path pays its fsync barriers here, so the
+    numbers track the real cost of crash safety), and an end-to-end
+    replay — an engine runs a small simulation batch on cache A, A's
+    artifact corpus is exported and imported into a fresh cache B, and
+    an engine on B must replay the same batch executing zero jobs with
+    bit-identical reports.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..artifacts import ArtifactStore
+    from ..eval.engine import SimJob, SweepEngine, temporary_cache_dir
+
+    entries = 64 if quick else 256
+    rng = np.random.default_rng(0)
+    payloads = [rng.random(1024) for _ in range(entries)]  # ~8 KiB each
+
+    with tempfile.TemporaryDirectory(prefix="repro-artifact-bench-") as tmp:
+        store = ArtifactStore(directory=Path(tmp) / "store")
+        with Timer() as put_t:
+            ids = [store.put("bench", {"index": i}, payloads[i])
+                   for i in range(entries)]
+        assert all(ids), "every bench artifact write must land"
+        with Timer() as get_t:
+            for art_id in ids:
+                store.get(art_id)
+        with Timer() as verify_t:
+            outcome = store.verify()
+        if check:
+            assert outcome["ok"] == entries and not outcome["quarantined"], \
+                f"pristine corpus must verify clean: {outcome}"
+        corpus = Path(tmp) / "corpus.tar.gz"
+        with Timer() as export_t:
+            store.export(corpus)
+        other = ArtifactStore(directory=Path(tmp) / "other")
+        with Timer() as import_t:
+            imported = other.import_(corpus)
+        if check:
+            assert imported["imported"] == entries, imported
+
+        # Warm-import replay: cold sweep on cache A, ship A's corpus to
+        # a fresh cache B, replay there with zero executions.
+        jobs = [SimJob.from_call(name, dataset, model)
+                for dataset, model in (("cora", "gcn"), ("citeseer", "gcn"))
+                for name in ("hygcn", "mega")]
+        with temporary_cache_dir(Path(tmp) / "env-a"):
+            clear_all_caches()
+            engine_a = SweepEngine(workers=0, cache_dir=Path(tmp) / "cache-a")
+            engine_a.clear_memory()  # the workload memo is module-level
+            with Timer() as cold:
+                cold_reports = engine_a.run(jobs)
+            executed_cold = engine_a.executed_jobs
+            replay_corpus = Path(tmp) / "replay.tar.gz"
+            engine_a.artifacts.export(replay_corpus)
+        with temporary_cache_dir(Path(tmp) / "env-b"):
+            clear_all_caches()
+            engine_b = SweepEngine(workers=0, cache_dir=Path(tmp) / "cache-b")
+            engine_b.artifacts.import_(replay_corpus)
+            engine_b.clear_memory()
+            with Timer() as warm:
+                warm_reports = engine_b.run(jobs)
+            executed_warm = engine_b.executed_jobs
+        if check:
+            assert executed_warm == 0, \
+                f"imported corpus must replay with 0 executions " \
+                f"({executed_warm})"
+            assert all(warm_reports[j] == cold_reports[j] for j in jobs), \
+                "replay from an imported corpus must be bit-identical"
+    clear_all_caches()
+
+    def rate(count: int, elapsed: float) -> float:
+        return count / elapsed if elapsed > 0 else float("inf")
+
+    return {
+        "entries": entries,
+        "put_s": put_t.elapsed,
+        "get_s": get_t.elapsed,
+        "verify_s": verify_t.elapsed,
+        "export_s": export_t.elapsed,
+        "import_s": import_t.elapsed,
+        "puts_per_s": rate(entries, put_t.elapsed),
+        "gets_per_s": rate(entries, get_t.elapsed),
+        "verifies_per_s": rate(entries, verify_t.elapsed),
+        "replay": {
+            "jobs": len(jobs),
+            "cold_s": cold.elapsed,
+            "warm_import_s": warm.elapsed,
+            "executed_cold_jobs": executed_cold,
+            "executed_warm_jobs": executed_warm,
+            "warm_speedup": _speedup(cold.elapsed, warm.elapsed),
+        },
+    }
+
+
 def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                    check: bool = True, seed: int = 0,
                    quick_sweep: Optional[bool] = None,
@@ -737,7 +843,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v5",
+        "schema": "repro.perf.bench/v6",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -775,6 +881,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     report["train_epoch"] = _bench_train_epoch(quick_sweep)
     report["accuracy_sweep"] = _bench_accuracy_sweep(quick_sweep,
                                                      workers=sweep_workers)
+    report["artifact_store"] = _bench_artifact_store(quick_sweep, check=check)
     report["serve_load"] = _bench_serve_load(quick_sweep, check=check)
     return report
 
@@ -833,6 +940,20 @@ def _print_summary(report: dict) -> None:
         print(f"  cold parallel {acc['cold_parallel_s'] * 1e3:>9.1f}ms "
               f"({acc['workers']} workers, {acc['parallel_speedup']:.2f}x"
               f"{pool_note})")
+    art = report.get("artifact_store")
+    if art:
+        print(f"\nartifact_store: {art['entries']} entries "
+              f"(durable writes, sha256-verified reads)")
+        print(f"  put {art['puts_per_s']:>7.0f}/s  "
+              f"get {art['gets_per_s']:>7.0f}/s  "
+              f"verify {art['verifies_per_s']:>7.0f}/s")
+        print(f"  export {art['export_s'] * 1e3:>7.1f}ms  "
+              f"import {art['import_s'] * 1e3:>7.1f}ms (re-checksummed)")
+        replay = art["replay"]
+        print(f"  replay        {replay['warm_import_s'] * 1e3:>9.1f}ms from "
+              f"an imported corpus ({replay['executed_warm_jobs']} of "
+              f"{replay['jobs']} jobs executed, "
+              f"{replay['warm_speedup']:.1f}x vs cold)")
     load = report.get("serve_load")
     if load:
         print(f"\nserve_load: {load['experiment']} --suite {load['suite']} "

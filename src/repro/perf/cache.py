@@ -146,21 +146,6 @@ def graph_fingerprint(adjacency: sp.spmatrix) -> str:
 # small graphs stay memory-only (disk churn would outweigh the compute).
 PARTITION_DISK_MIN_EDGES = 200_000
 
-_PARTITION_DISK: Optional["DiskCache"] = None
-_PARTITION_DISK_BASE: Optional[Path] = None
-
-
-def _partition_disk() -> "DiskCache":
-    """The partition store under the *current* cache dir (rebuilt when
-    ``REPRO_CACHE_DIR`` is redirected, e.g. by ``temporary_cache_dir``)."""
-    global _PARTITION_DISK, _PARTITION_DISK_BASE
-    base = default_cache_dir()
-    if _PARTITION_DISK is None or _PARTITION_DISK_BASE != base:
-        _PARTITION_DISK = DiskCache("partition", directory=base,
-                                    namespace=code_version())
-        _PARTITION_DISK_BASE = base
-    return _PARTITION_DISK
-
 
 def cached_partition(
     adjacency: sp.spmatrix,
@@ -173,8 +158,11 @@ def cached_partition(
 
     Content-keyed on the adjacency's CSR fingerprint plus every
     partitioner parameter; large graphs additionally resolve through the
-    code-versioned :class:`DiskCache`, so concurrent sweep workers and
-    later processes partition each scale scenario exactly once.
+    content-addressed :class:`~repro.artifacts.ArtifactStore` (kind
+    ``"partition"``), so concurrent sweep workers, later processes and
+    imported corpora partition each scale scenario exactly once — with
+    manifest-backed integrity and quarantine-on-corruption instead of a
+    bare pickle blob.
     """
     key = (graph_fingerprint(adjacency), num_parts, seed, balance_factor,
            refine_passes)
@@ -184,8 +172,15 @@ def cached_partition(
                                       balance_factor=balance_factor,
                                       refine_passes=refine_passes)
         if adjacency.nnz >= PARTITION_DISK_MIN_EDGES:
-            return _partition_disk().get_or_compute(
-                content_key("partition", *key), run)
+            from ..artifacts import artifact_store
+
+            value, _art_id = artifact_store().get_or_build(
+                "partition",
+                {"graph": key[0], "num_parts": num_parts, "seed": seed,
+                 "balance_factor": balance_factor,
+                 "refine_passes": refine_passes},
+                run)
+            return value
         return run()
 
     return PARTITION_CACHE.get_or_compute(key, compute)
@@ -257,6 +252,10 @@ _DIGEST_BYTES = 20
 
 class _CorruptEntry(Exception):
     """Internal: an entry failed its structural/checksum validation."""
+
+
+# Marker key for entries whose real payload lives in the artifact store.
+_SPILL_STUB = "__repro_artifact_stub__"
 
 _CODE_VERSION: Optional[str] = None
 
@@ -332,13 +331,21 @@ class DiskCache:
     """
 
     def __init__(self, name: str, directory: Optional[os.PathLike] = None,
-                 namespace: str = "", checksum: bool = True) -> None:
+                 namespace: str = "", checksum: bool = True,
+                 spill_store=None) -> None:
         self.name = name
         base = Path(directory) if directory is not None else default_cache_dir()
         self._version_root = base / name / f"v{DISK_SCHEMA_VERSION}"
         self.directory = (self._version_root / namespace if namespace
                           else self._version_root)
         self.checksum = checksum
+        # Optional repro.artifacts.ArtifactStore: entries whose encoded
+        # size reaches REPRO_ARTIFACTS_SPILL_BYTES are stored as
+        # content-addressed artifacts (with full manifest + sha256
+        # integrity) and the cache keeps only a small stub pointing at
+        # the artifact id.
+        self.spill_store = spill_store
+        self.spills = 0
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -377,8 +384,8 @@ class DiskCache:
         if not self._warned_corrupt:
             self._warned_corrupt = True
             warnings.warn(
-                f"disk cache {self.name!r} dropped a corrupt entry "
-                f"({path.name}: {reason}); it will be recomputed. "
+                f"disk cache {self.name!r} at {self.directory} dropped a "
+                f"corrupt entry ({path}: {reason}); it will be recomputed. "
                 f"Further drops from this store are counted in stats() "
                 f"but not re-warned.", RuntimeWarning, stacklevel=4)
         try:
@@ -405,8 +412,29 @@ class DiskCache:
             self.misses += 1
             self._drop_corrupt(path, str(exc) or type(exc).__name__)
             return default
+        if isinstance(value, dict) and _SPILL_STUB in value:
+            return self._resolve_stub(path, value[_SPILL_STUB], default)
         self.hits += 1
         return value
+
+    def _resolve_stub(self, path: Path, art_id, default):
+        """Load a spilled entry's value back through the artifact store.
+
+        A stub whose artifact is gone (quarantined, GC'd, or this cache
+        has no spill store) reads as a miss and the stub is dropped so
+        the recomputed value is stored fresh."""
+        if self.spill_store is not None and isinstance(art_id, str):
+            sentinel = object()
+            value = self.spill_store.get(art_id, sentinel)
+            if value is not sentinel:
+                self.hits += 1
+                return value
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return default
 
     def put(self, key: str, value) -> None:
         """Persist one entry; a failed write never fails the caller.
@@ -420,6 +448,8 @@ class DiskCache:
         if self._write_disabled:
             return
         from .. import faults
+        from ..artifacts import _fsync_dir, _fsync_file
+        from ..envutil import env_int
 
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -428,10 +458,24 @@ class DiskCache:
             if injector is not None:
                 injector.on_cache_write_start(key)
             data = self._encode(value)
+            if (self.spill_store is not None
+                    and len(data) >= env_int("REPRO_ARTIFACTS_SPILL_BYTES",
+                                             262144)):
+                art_id = self.spill_store.put(
+                    "cache-spill", {"cache": self.name, "key": key}, value)
+                if art_id is not None:
+                    self.spills += 1
+                    data = self._encode({_SPILL_STUB: art_id})
             self.directory.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as fh:
                 fh.write(data)
+                # Durability barrier: the entry's bytes must be on stable
+                # storage *before* the rename publishes it, or a power
+                # loss right after the rename can surface a zero-length
+                # or partially-flushed entry under the final name.
+                _fsync_file(fh)
             os.replace(tmp, path)
+            _fsync_dir(self.directory)
             self.stores += 1
             if injector is not None:
                 injector.on_cache_written(path, key)
@@ -478,7 +522,7 @@ class DiskCache:
 
     def clear(self) -> None:
         shutil.rmtree(self.directory, ignore_errors=True)
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.spills = 0
         self.corrupt_drops = self.write_failures = self.io_errors = 0
         self._write_disabled = False
         self._warned_corrupt = self._warned_readonly = False

@@ -310,6 +310,7 @@ def run_experiment(name: str, engine=None, workers: Optional[int] = None,
     executed_before = engine.executed_jobs
     trained_before = engine.executed_train_jobs
     failed_before = len(engine.failures)
+    artifacts_before = set(getattr(engine, "consumed_artifacts", ()))
     started = time.perf_counter()
     on_error = "raise" if fail_fast else "degrade"
     reports = (engine.run(list(jobs.values()), workers=workers,
@@ -354,6 +355,12 @@ def run_experiment(name: str, engine=None, workers: Optional[int] = None,
         metadata["errors"] = _failure_records(engine, failures)
     if engine.disk is not None:
         metadata["cache"] = engine.disk.stats()
+    consumed = getattr(engine, "consumed_artifacts", None)
+    if consumed is not None:
+        # Provenance: the content-addressed artifact ids this run
+        # resolved or produced (sorted for stable serialization).
+        metadata["artifacts"] = {art_id: consumed[art_id] for art_id
+                                 in sorted(set(consumed) - artifacts_before)}
     if engine.journal is not None:
         metadata["run_id"] = engine.journal.run_id
         engine.journal.record_experiment(

@@ -145,6 +145,53 @@ class TestSerialChaos:
         assert rerun.rows == baseline.rows
 
 
+class TestArtifactChaos:
+    """The artifact store under injected corruption and torn publishes:
+    rows stay bit-identical, corruption is quarantined (never served),
+    and verify leaves a clean corpus behind."""
+
+    def test_corrupt_artifacts_quarantined_and_rebuilt(self, tmp_path):
+        baseline = _run(_fresh_engine(tmp_path, "clean"), "stall_table")
+        engine = _fresh_engine(tmp_path, "qa")
+        with inject_faults(corrupt_artifact=1.0), pytest.warns(
+                RuntimeWarning, match="quarantined"):
+            first = _run(engine, "stall_table")
+            # Every published job artifact reads back corrupt: the warm
+            # path quarantines each one and re-executes instead of
+            # serving damaged results.
+            engine.clear_memory()
+            second = _run(engine, "stall_table")
+        _assert_identical(baseline, first)
+        _assert_identical(baseline, second)
+        assert engine.artifacts.quarantined > 0
+        assert (second.metadata["jobs"]["executed"]
+                == first.metadata["jobs"]["executed"] > 0)
+        # Fault lifted: the next reference rebuilds a clean corpus.
+        engine.artifacts.verify()
+        engine.clear_memory()
+        third = _run(engine, "stall_table")
+        assert third.rows == baseline.rows
+        clean = engine.artifacts.verify()
+        assert clean["quarantined"] == []
+        assert clean["ok"] == clean["checked"] > 0
+
+    def test_torn_publishes_never_leave_partial_entries(self, tmp_path):
+        baseline = _run(_fresh_engine(tmp_path, "clean"), "stall_table")
+        engine = _fresh_engine(tmp_path, "torn")
+        with inject_faults(torn_rename=1.0):
+            first = _run(engine, "stall_table")
+        _assert_identical(baseline, first)
+        # Every publish was abandoned pre-rename: nothing half-written
+        # is visible, and verify finds zero undetected corruptions.
+        report = engine.artifacts.verify()
+        assert report["checked"] == report["ok"] == 0
+        assert report["quarantined"] == []
+        engine.clear_memory()
+        second = _run(engine, "stall_table")
+        _assert_identical(baseline, second)
+        assert engine.artifacts.stats()["objects"] > 0  # clean republish
+
+
 @needs_fork
 class TestParallelChaos:
     def test_worker_kills_are_survived_bit_identically(self, tmp_path,

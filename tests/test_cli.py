@@ -281,6 +281,109 @@ class TestGcCli:
         assert "--gc applies to `list runs` only" in capsys.readouterr().err
 
 
+class TestArtifactsCli:
+    """`repro artifacts list|show|verify|gc|export|import`."""
+
+    @pytest.fixture()
+    def art_store(self, tmp_path):
+        from repro.artifacts import artifact_store
+
+        with temporary_cache_dir(tmp_path / "cache"):
+            yield artifact_store()
+
+    @staticmethod
+    def _seed(store, n=2):
+        return [store.put("demo", {"n": i}, {"value": i}, producer="cli-t")
+                for i in range(n)]
+
+    def test_list_and_show(self, art_store, capsys):
+        ids = self._seed(art_store)
+        assert main(["artifacts", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        for art_id in ids:
+            assert art_id in out
+        assert "demo" in out
+        assert main(["artifacts", "show", ids[0]]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["id"] == ids[0]
+        assert manifest["inputs"] == {"n": 0}
+
+    def test_show_unknown_id_exits_2(self, art_store, capsys):
+        rc = main(["artifacts", "show", "art_" + "0" * 16])
+        assert rc == 2
+        assert "no artifact" in capsys.readouterr().err
+
+    def test_verify_clean_store_exits_0(self, art_store, capsys):
+        self._seed(art_store)
+        assert main(["artifacts", "verify"]) == 0
+        assert "2 ok, 0 quarantined" in capsys.readouterr().out
+
+    def test_verify_corruption_exits_1_and_quarantines(self, art_store,
+                                                       capsys):
+        ids = self._seed(art_store)
+        payload = art_store.payload_path(ids[0])
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            rc = main(["artifacts", "verify"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "1 quarantined" in captured.out
+        assert ids[0] in captured.err
+        # The quarantined entry no longer lists; the clean one does.
+        assert main(["artifacts", "list"]) == 0
+        out = capsys.readouterr().out
+        assert ids[0] not in out and ids[1] in out
+
+    def test_gc_dry_run_then_force(self, art_store, capsys):
+        ids = self._seed(art_store)
+        art_store.pin(ids[1])
+        assert main(["artifacts", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert f"would remove {ids[0]}" in out and "dry-run" in out
+        assert art_store.stats()["objects"] == 2  # nothing deleted yet
+        assert main(["artifacts", "gc", "--force"]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert art_store.ids() == [ids[1]]
+
+    def test_export_import_round_trip(self, art_store, tmp_path, capsys):
+        self._seed(art_store, 3)
+        dest = tmp_path / "corpus.tar.gz"
+        assert main(["artifacts", "export", str(dest)]) == 0
+        assert "exported 3 entries" in capsys.readouterr().out
+        # Import into a second, empty cache directory.
+        from repro.artifacts import artifact_store
+
+        with temporary_cache_dir(tmp_path / "other"):
+            assert main(["artifacts", "import", str(dest)]) == 0
+            assert "imported 3 entries" in capsys.readouterr().out
+            assert artifact_store().verify()["ok"] == 3
+
+    def test_export_unknown_id_exits_2(self, art_store, tmp_path, capsys):
+        rc = main(["artifacts", "export", str(tmp_path / "c.tar"),
+                   "--ids", "art_" + "f" * 16])
+        assert rc == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_import_rejects_tampered_archive(self, art_store, tmp_path,
+                                             capsys):
+        ids = self._seed(art_store, 1)
+        tree = tmp_path / "tree"
+        assert main(["artifacts", "export", str(tree)]) == 0
+        victim = tree / "objects" / ids[0] / "payload.bin"
+        victim.write_bytes(victim.read_bytes()[:-1])  # truncate
+        capsys.readouterr()
+        from repro.artifacts import artifact_store
+
+        with temporary_cache_dir(tmp_path / "other"):
+            rc = main(["artifacts", "import", str(tree)])
+            assert rc == 1
+            assert "import rejected" in capsys.readouterr().err
+            assert artifact_store().ids() == []  # nothing published
+
+
 def _first_hang_index():
     """Find a chaos seed whose first ``hang`` firing lands mid-sweep.
 

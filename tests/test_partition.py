@@ -205,14 +205,17 @@ class TestPartitionDiskCache:
         assert warm.edge_cut == first.edge_cut
 
     def test_small_partitions_stay_memory_only(self, tmp_path):
+        from repro.artifacts import artifact_store
         from repro.eval.engine import temporary_cache_dir
         from repro.perf import cache as cache_mod
 
         graph = synthetic_graph(256, 1_024, 16, 4, seed=0, name="mem-t")
         with temporary_cache_dir(tmp_path / "store"):
             cache_mod.cached_partition(graph.adjacency, 4, seed=0)
-            disk = cache_mod._partition_disk()
-            assert disk.stats()["entries"] == 0
+            # No partition artifact was published for a small graph.
+            store = artifact_store()
+            kinds = [e["kind"] for e in store.list_entries()]
+            assert "partition" not in kinds
 
 
 class TestSparseConnections:

@@ -297,9 +297,14 @@ class TestTimersAndBench:
         assert scale["executed_cold_jobs"] == scale["jobs"]
         assert scale["warm_speedup"] > 1.0
         assert report["train_epoch"]["bit_identical"]
+        art = report["artifact_store"]
+        assert art["puts_per_s"] > 0 and art["gets_per_s"] > 0
+        assert art["verifies_per_s"] > 0
+        assert art["replay"]["executed_warm_jobs"] == 0
+        assert art["replay"]["executed_cold_jobs"] == art["replay"]["jobs"]
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v5"
+        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v6"
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):
