@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
-import numpy as np
+from ..xp import np
 
 from ..formats.base import bits_needed
 from ..paper_data import TABLE_V_BASELINES, TABLE_VII_ORIGINAL
@@ -33,7 +33,7 @@ from ..perf.cache import cached_partition
 from ..registry import ACCELERATORS, AcceleratorEntry
 from ..sim import BufferSet, BufferSpec, DramModel
 from ..sim.accelerator import AcceleratorModel, LayerCost
-from ..sim.locality import aggregation_locality_traffic
+from ..sim.locality import shared_locality_structure, traffic_from_structure
 from ..sim.workload import Workload
 
 __all__ = ["BaselineConfig", "GenericAcceleratorModel", "BASELINE_PRESETS",
@@ -128,7 +128,10 @@ class GenericAcceleratorModel(AcceleratorModel):
         super().__init__(buffers, dram=dram)
 
     # ------------------------------------------------------------------
-    def layer_cost(self, workload: Workload, layer_index: int) -> LayerCost:
+    def layer_cost(self, workload: Workload, layer_index: int,
+                   structures: Optional[dict] = None) -> LayerCost:
+        """One layer's cost; ``structures`` is an optional cross-job
+        locality-structure memo supplied by the batched evaluator."""
         cfg = self.config
         layer = workload.layers[layer_index]
         n, edges = workload.num_nodes, workload.num_edges
@@ -155,7 +158,8 @@ class GenericAcceleratorModel(AcceleratorModel):
             agg_edges = edges if cfg.sparsity_aggregation else edges
             aggregation_cycles = agg_edges * f_out / agg_lanes
 
-        traffic = self._layer_traffic(workload, layer_index)
+        traffic = self._layer_traffic(workload, layer_index,
+                                      structures=structures)
 
         macs = (edges * f_in + dense_vals * f_out if cfg.execution_order == "AXW"
                 else (total_nnz if cfg.sparsity_combination else dense_vals) * f_out
@@ -190,7 +194,8 @@ class GenericAcceleratorModel(AcceleratorModel):
             return (total_nnz * bits_f + num_nodes * dim) / 8.0
         raise ValueError(f"unknown storage {cfg.storage!r}")
 
-    def _layer_traffic(self, workload: Workload, layer_index: int):
+    def _layer_traffic(self, workload: Workload, layer_index: int,
+                       structures: Optional[dict] = None):
         cfg = self.config
         layer = workload.layers[layer_index]
         n, edges = workload.num_nodes, workload.num_edges
@@ -225,10 +230,12 @@ class GenericAcceleratorModel(AcceleratorModel):
                 num_parts = max(int(math.ceil(n / buffer_nodes)), 1)
                 if num_parts > 1:
                     parts = self._partition(workload, num_parts)
-            agg = aggregation_locality_traffic(
-                workload.adjacency, combined_bytes, self.dram,
-                strategy="metis" if parts is not None else "naive",
-                parts=parts, buffer_nodes=buffer_nodes,
+            strategy = "metis" if parts is not None else "naive"
+            structure = shared_locality_structure(
+                workload.adjacency, strategy=strategy, parts=parts,
+                buffer_nodes=buffer_nodes, structures=structures)
+            agg = traffic_from_structure(
+                structure, combined_bytes, self.dram, strategy=strategy,
                 combination_buffer_bytes=self.buffers["unified"].capacity_bytes,
             )
             traffic.accumulate(agg.total)

@@ -76,7 +76,11 @@ Environment knobs:
   disabled); enforced in-process via SIGALRM and, for worker processes,
   backstopped by the supervisor's watchdog kill;
 - ``REPRO_JOB_BACKOFF`` — base of the exponential retry backoff in
-  seconds (default 0.05; attempt ``n`` waits ``backoff * 2**n``).
+  seconds (default 0.05; attempt ``n`` waits ``backoff * 2**n``);
+- ``REPRO_SIM_BATCH`` — batched simulation of same-dataset job groups
+  (default 1: on; ``0`` forces the scalar per-job path everywhere);
+- ``REPRO_SIM_BATCH_MAX`` — cap on how many jobs one batched
+  evaluation stacks together (default 256).
 """
 
 from __future__ import annotations
@@ -101,7 +105,7 @@ from ..perf.cache import (
 from ..quant.flows import TRAIN_FLOWS, freeze_value, thaw_value
 from ..registry import get_accelerator
 from ..sim.accelerator import SimReport
-from ..sim.workload import Workload, build_workload
+from ..sim.workload import Workload, build_workload, build_workload_batch
 from .supervise import JobFailure, Supervisor, run_serial
 
 __all__ = ["SimJob", "TrainJob", "SweepEngine", "get_engine", "set_engine",
@@ -233,6 +237,139 @@ def _execute_train_job(job: TrainJob):
                                  seed=job.seed, **kwargs)
 
 
+# ----------------------------------------------------------------------
+# Batched simulation (ROADMAP item 5).
+#
+# The supervision layer's ``prepare`` hook hands the execute process its
+# whole job list (serial) or chunk (worker) before the per-job loop
+# starts.  ``prepare_sim_batch`` groups the simulation jobs that share a
+# workload recipe, evaluates each group through the stacked evaluator
+# (:func:`repro.sim.batched.simulate_batch` — bit-identical to the
+# scalar path by construction and by test), and stashes the finished
+# reports here.  ``_execute_job`` then pops its job's report *after*
+# the fault injector has had its say, so per-job fault/retry/journal
+# semantics are untouched: a kill loses the process-local stash and the
+# retry simply runs scalar; an injected error leaves the stash intact
+# for the retry; cache and artifact publication stay per-job in
+# ``SweepEngine._store`` exactly as before.
+# ----------------------------------------------------------------------
+
+_BATCH_STASH: Dict[object, object] = {}
+_BATCH_MISSING = object()
+
+
+def _sim_batch_enabled() -> bool:
+    return env_int("REPRO_SIM_BATCH", 1) != 0
+
+
+def _sim_batch_max() -> int:
+    return max(env_int("REPRO_SIM_BATCH_MAX", 256), 1)
+
+
+def _batch_group_key(job: "SimJob") -> Optional[tuple]:
+    """Workload-recipe key: jobs agreeing on it can share one batch."""
+    try:
+        precision = job.precision
+    except Exception:
+        return None          # unknown accelerator: let execution raise
+    return (job.dataset.lower(), job.model.lower(), precision, job.seed)
+
+
+def plan_sim_batches(jobs: Sequence) -> List[List["SimJob"]]:
+    """Partition ``jobs`` into batch-evaluable groups.
+
+    Simulation jobs that share (dataset, model, precision, seed) — i.e.
+    one workload recipe, differing only in accelerator/variant/target —
+    form a group, split at ``REPRO_SIM_BATCH_MAX``.  Singleton groups
+    are dropped: batching one job is pure overhead, and huge scenarios
+    (which chunk per job, see :func:`_chunk_key`) land here, falling
+    through to the scalar path by design.
+    """
+    groups: Dict[tuple, List[SimJob]] = {}
+    for job in jobs:
+        if not isinstance(job, SimJob):
+            continue
+        key = _batch_group_key(job)
+        if key is not None:
+            groups.setdefault(key, []).append(job)
+    cap = _sim_batch_max()
+    batches: List[List[SimJob]] = []
+    for members in groups.values():
+        for start in range(0, len(members), cap):
+            batch = members[start:start + cap]
+            if len(batch) >= 2:
+                batches.append(batch)
+    return batches
+
+
+def _group_workloads(members: List["SimJob"]) -> Dict[Optional[float], Workload]:
+    """Build (or reuse) the workloads of one batch group, per target.
+
+    Missing targets are built in one :func:`build_workload_batch` call —
+    sharing the graph load, sampling, degree ranking and feature-stats
+    arrays — and published into ``_WORKLOAD_MEMO`` so scalar fallbacks
+    and later sweeps see the exact same objects.
+    """
+    first = members[0]
+    precision = first.precision
+    targets = list(dict.fromkeys(job.target_average_bits for job in members))
+    keys = {target: _workload_key(first.dataset, first.model, precision,
+                                  target, first.seed)
+            for target in targets}
+    built: Dict[Optional[float], Workload] = {}
+    missing: List[Optional[float]] = []
+    for target in targets:
+        cached = _WORKLOAD_MEMO.get(keys[target])
+        if cached is not None:
+            built[target] = cached
+        else:
+            missing.append(target)
+    if missing:
+        graph = cached_load_dataset(first.dataset, scale="sim",
+                                    seed=first.seed)
+        fresh = build_workload_batch(first.dataset, first.model,
+                                     precision=precision, seed=first.seed,
+                                     graph=graph, targets=tuple(missing))
+        for target, workload in zip(missing, fresh):
+            built[target] = _WORKLOAD_MEMO.put(keys[target], workload)
+    return built
+
+
+def _prepare_batch(members: List["SimJob"]) -> bool:
+    """Batch-evaluate one group into the stash; False = scalar fallback."""
+    from ..sim.batched import simulate_batch
+
+    try:
+        workloads_by_target = _group_workloads(members)
+        models = [get_accelerator(job.accelerator).build(**dict(job.variant))
+                  for job in members]
+        workloads = [workloads_by_target[job.target_average_bits]
+                     for job in members]
+        reports = simulate_batch(models, workloads)
+    except Exception:
+        return False         # jobs execute (and report errors) scalar-ly
+    for job, report in zip(members, reports):
+        _BATCH_STASH[job] = report
+    return True
+
+
+def prepare_sim_batch(jobs: Sequence) -> List[int]:
+    """The engine's ``prepare`` hook body: stash batched reports.
+
+    Returns the realized batch sizes (empty when batching is off or
+    nothing grouped).  The stash is cleared first so entries from an
+    aborted earlier run cannot leak across sweeps.
+    """
+    _BATCH_STASH.clear()
+    if not _sim_batch_enabled():
+        return []
+    sizes: List[int] = []
+    for batch in plan_sim_batches(jobs):
+        if _prepare_batch(batch):
+            sizes.append(len(batch))
+    return sizes
+
+
 def _execute_job(job, attempt: int = 0):
     """Execute one job of either kind (dispatch on the job type).
 
@@ -243,12 +380,19 @@ def _execute_job(job, attempt: int = 0):
     ``attempt`` is the retry ordinal the supervision layer passes in;
     the fault-injection harness (:mod:`repro.faults`) keys on it so
     injected failures fire only on a job's first attempt.
+
+    A report stashed by :func:`prepare_sim_batch` is consumed *after*
+    the injector fires, so injected kills/errors hit batched jobs with
+    the same per-job semantics as scalar ones.
     """
     injector = faults.active_injector()
     if injector is not None:
         injector.on_job(repr(job), attempt)
     if isinstance(job, TrainJob):
         return _execute_train_job(job)
+    stashed = _BATCH_STASH.pop(job, _BATCH_MISSING)
+    if stashed is not _BATCH_MISSING:
+        return stashed
     workload = _build_job_workload(job)
     entry = get_accelerator(job.accelerator)
     # entry.build rejects variant kwargs on fixed-configuration presets.
@@ -295,7 +439,8 @@ class SweepEngine:
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk: bool = True, retries: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 backoff: Optional[float] = None, journal=None) -> None:
+                 backoff: Optional[float] = None, journal=None,
+                 batch: Optional[bool] = None) -> None:
         self.workers = _env_workers() if workers is None else max(int(workers), 0)
         self.reports = ContentCache("job_results")
         self.tables = ContentCache("tables")
@@ -331,6 +476,17 @@ class SweepEngine:
         # True once worker processes actually executed jobs (stays False
         # when the serial path or a fallback ran instead).
         self.pool_used = False
+        # Batched-simulation policy; None defers to REPRO_SIM_BATCH.
+        self._batch = batch
+        # Honesty flags mirroring pool_used: did batched evaluation
+        # actually stash reports, and at what realized group sizes?  On
+        # the serial path these are ground truth (the hook runs in this
+        # process); on the worker path the hook runs inside forked
+        # workers, so the parent records the sizes it *planned* —
+        # workers that fall back to scalar mid-batch cannot be observed
+        # from here.
+        self.batch_used = False
+        self.batch_sizes: List[int] = []
         # Jobs that exhausted their retry budget in degrade mode
         # (accumulates across run() calls; cleared by clear_memory).
         self.failures: List[JobFailure] = []
@@ -349,6 +505,30 @@ class SweepEngine:
     def backoff(self) -> float:
         return (self._backoff if self._backoff is not None
                 else env_float("REPRO_JOB_BACKOFF", 0.05))
+
+    @property
+    def batch_enabled(self) -> bool:
+        return (bool(self._batch) if self._batch is not None
+                else _sim_batch_enabled())
+
+    def _prepare_hook(self) -> Optional[Callable[[Sequence], None]]:
+        """The batched-simulation ``prepare`` hook, or None when off.
+
+        Batch preparation runs outside the per-job deadline machinery
+        (SIGALRM / watchdog budgets are sized for one job, not a
+        stacked group), so it is disabled whenever a job timeout is in
+        force — those sweeps keep today's scalar behavior exactly.
+        """
+        if not self.batch_enabled or self.timeout > 0:
+            return None
+
+        def prepare(jobs: Sequence) -> None:
+            sizes = prepare_sim_batch(jobs)
+            if sizes:
+                self.batch_used = True
+                self.batch_sizes.extend(sizes)
+
+        return prepare
 
     def _note_executed(self, jobs: Sequence) -> None:
         self.executed_jobs += len(jobs)
@@ -513,7 +693,8 @@ class SweepEngine:
         everything computed so far cached)."""
         return run_serial(pending, _execute_job, self._on_result(results),
                           timeout=self.timeout, retries=self.retries,
-                          backoff=self.backoff, fail_fast=fail_fast)
+                          backoff=self.backoff, fail_fast=fail_fast,
+                          prepare=self._prepare_hook())
 
     def _run_parallel(self, pending: Sequence, workers: int, results: Dict,
                       fail_fast: bool = True) -> List[JobFailure]:
@@ -533,9 +714,19 @@ class SweepEngine:
         for job in pending:
             chunks.setdefault(_chunk_key(job), []).append(job)
         chunk_list = list(chunks.values())
+        prepare = self._prepare_hook()
+        if prepare is not None:
+            # Workers prepare their own chunks in their own memory; the
+            # parent can only record what it planned (see batch_used).
+            for chunk in chunk_list:
+                planned = [len(batch) for batch in plan_sim_batches(chunk)]
+                if planned:
+                    self.batch_used = True
+                    self.batch_sizes.extend(planned)
         supervisor = Supervisor(
             workers=min(workers, len(chunk_list)), execute=_execute_job,
-            timeout=self.timeout, retries=self.retries, backoff=self.backoff)
+            timeout=self.timeout, retries=self.retries, backoff=self.backoff,
+            prepare=prepare)
         try:
             return supervisor.run(chunk_list, self._on_result(results),
                                   fail_fast=fail_fast)
@@ -597,6 +788,8 @@ class SweepEngine:
         self.executed_jobs = 0
         self.executed_train_jobs = 0
         self.pool_used = False
+        self.batch_used = False
+        self.batch_sizes = []
         self.failures = []
         self.consumed_artifacts = {}
 
@@ -612,6 +805,8 @@ class SweepEngine:
                "executed": {"jobs": self.executed_jobs,
                             "train_jobs": self.executed_train_jobs,
                             "pool_used": self.pool_used,
+                            "batch_used": self.batch_used,
+                            "batched_jobs": sum(self.batch_sizes),
                             "failed_jobs": len(self.failures)}}
         if self.disk is not None:
             out["disk"] = self.disk.stats()

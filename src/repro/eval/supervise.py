@@ -141,6 +141,23 @@ def backoff_delay(backoff: float, attempt: int, token: str = "") -> float:
     return base * (0.5 + 0.5 * fraction)
 
 
+def _run_prepare(prepare: Optional[Callable[[Sequence], None]],
+                 jobs: Sequence) -> None:
+    """Invoke an optional batch-preparation hook over ``jobs``.
+
+    ``prepare`` is an optimization hook (the sweep engine uses it to
+    pre-evaluate simulation batches); failing to prepare must never
+    fail the jobs themselves — they simply execute the scalar way — so
+    any exception it raises is swallowed here.
+    """
+    if prepare is None or not jobs:
+        return
+    try:
+        prepare(jobs)
+    except Exception:
+        pass
+
+
 def _failure_from_exception(job, exc: BaseException, attempts: int,
                             elapsed: float) -> JobFailure:
     kind = "timeout" if isinstance(exc, JobTimeout) else "error"
@@ -154,7 +171,9 @@ def _failure_from_exception(job, exc: BaseException, attempts: int,
 def run_serial(jobs: Sequence, execute: Callable[[object, int], object],
                on_result: Callable[[object, object, int, float], None],
                timeout: float = 0.0, retries: int = 0, backoff: float = 0.05,
-               fail_fast: bool = True) -> List[JobFailure]:
+               fail_fast: bool = True,
+               prepare: Optional[Callable[[Sequence], None]] = None,
+               ) -> List[JobFailure]:
     """Execute ``jobs`` in-process under the retry/deadline policy.
 
     ``on_result(job, result, attempts, elapsed_s)`` fires per success as
@@ -162,7 +181,13 @@ def run_serial(jobs: Sequence, execute: Callable[[object, int], object],
     In fail-fast mode the first exhausted job re-raises immediately
     (today's engine semantics); otherwise it becomes a
     :class:`JobFailure` and the batch continues.
+
+    ``prepare``, when given, is called once with the whole job list
+    before execution starts (outside the per-job deadline) — the
+    engine's batched-simulation hook; its failures are suppressed and
+    the jobs just execute individually.
     """
+    _run_prepare(prepare, jobs)
     failures: List[JobFailure] = []
     for job in jobs:
         started = time.perf_counter()
@@ -191,14 +216,20 @@ def run_serial(jobs: Sequence, execute: Callable[[object, int], object],
 # ----------------------------------------------------------------------
 
 def _worker_main(conn, jobs: Sequence, attempts: Sequence[int],
-                 timeout: float, execute) -> None:
+                 timeout: float, execute, prepare=None) -> None:
     """Worker entry: run the chunk, streaming one message per job.
 
     Messages: ``("ok", idx, result)``, ``("err", idx, exc_or_text)``,
     and a final ``("bye",)``.  Exceptions that cannot pickle cross the
     pipe as :class:`_TextError`.
+
+    ``prepare`` runs once over the chunk before the job loop (the
+    batched-simulation hook); the stash it fills lives in this worker's
+    memory, so a worker killed mid-chunk loses only its own batch — the
+    requeued tail re-prepares in a fresh worker.
     """
     os.environ["REPRO_FAULTS_WORKER"] = "1"
+    _run_prepare(prepare, jobs)
     for idx, (job, attempt) in enumerate(zip(jobs, attempts)):
         try:
             with job_deadline(timeout):
@@ -249,9 +280,11 @@ class Supervisor:
 
     def __init__(self, workers: int, execute: Callable[[object, int], object],
                  timeout: float = 0.0, retries: int = 0,
-                 backoff: float = 0.05) -> None:
+                 backoff: float = 0.05,
+                 prepare: Optional[Callable[[Sequence], None]] = None) -> None:
         self.workers = max(int(workers), 1)
         self.execute = execute
+        self.prepare = prepare
         self.timeout = max(float(timeout), 0.0)
         self.retries = max(int(retries), 0)
         self.backoff = max(float(backoff), 0.0)
@@ -277,7 +310,7 @@ class Supervisor:
             return run_serial([j for c in chunks for j in c], self.execute,
                               on_result, timeout=self.timeout,
                               retries=self.retries, backoff=self.backoff,
-                              fail_fast=fail_fast)
+                              fail_fast=fail_fast, prepare=self.prepare)
         pending: deque = deque(
             _Task(jobs=list(chunk), attempts=[0] * len(chunk))
             for chunk in chunks if chunk)
@@ -339,7 +372,7 @@ class Supervisor:
             proc = self._ctx.Process(
                 target=_worker_main,
                 args=(child_conn, task.jobs, task.attempts, self.timeout,
-                      self.execute),
+                      self.execute, self.prepare),
                 daemon=True)
             try:
                 proc.start()
@@ -366,6 +399,7 @@ class Supervisor:
             jobs.extend(task.jobs)
             attempts.extend(task.attempts)
         pending.clear()
+        _run_prepare(self.prepare, jobs)
         failures: List[JobFailure] = []
         for job, first_attempt in zip(jobs, attempts):
             started = time.perf_counter()

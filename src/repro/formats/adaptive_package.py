@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
+from ..xp import np
 
 from .base import FormatReport, SparseFormat, bits_needed
 
@@ -283,36 +283,96 @@ class AdaptivePackageFormat(SparseFormat):
         return out
 
     # ------------------------------------------------------------------
+    def _run_package_stats(self, run_bits: np.ndarray, run_total: np.ndarray,
+                           run_group: np.ndarray, num_groups: int):
+        """Package statistics for bitwidth runs, accumulated per group.
+
+        ``run_bits[i]``/``run_total[i]`` describe one maximal run of
+        consecutive equal-bitwidth nodes (its bitwidth and its total
+        non-zero count); ``run_group[i]`` says which output slot the
+        run's packages belong to and must be nondecreasing (runs arrive
+        in row order).  Every quantity is integer arithmetic identical
+        to the greedy register
+        (:func:`repro.perf.reference.measure_adaptive_package_reference`),
+        so the result is exact, not a float approximation.  Returns
+        int64 arrays ``(num_packages, package_bits, padding)`` of length
+        ``num_groups``.
+        """
+        cfg = self.config
+        lengths = np.asarray(cfg.lengths, dtype=np.int64)
+        payloads = lengths - HEADER_BITS
+
+        zeros = np.zeros(num_groups, dtype=np.int64)
+        keep = run_total > 0
+        if not keep.any():
+            return zeros, zeros.copy(), zeros.copy()
+        if keep.all():  # common case: skip three large copies
+            bits, total, group = run_bits, run_total, run_group
+        else:
+            bits, total, group = run_bits[keep], run_total[keep], run_group[keep]
+
+        long_cap = payloads[2] // bits
+        if (long_cap == 0).any():
+            # The seed loop hits divmod(total, 0) here; keep the same
+            # failure mode instead of numpy's warn-and-zero semantics.
+            raise ZeroDivisionError("integer division or modulo by zero")
+        full_longs = total // long_cap
+        remainder = total - full_longs * long_cap
+
+        # Per-group accumulation.  ``group`` is sorted, so a cumsum
+        # sampled at the group boundaries gives exact int64 segment
+        # sums in one pass — no scatter-add hashing.
+        bounds = np.searchsorted(group, np.arange(num_groups + 1))
+
+        def segment_sum(weights):
+            csum = np.concatenate([[0], np.cumsum(weights)])
+            return csum[bounds[1:]] - csum[bounds[:-1]]
+
+        num_packages = segment_sum(full_longs)
+        package_bits = num_packages * lengths[2]
+        padding = segment_sum(full_longs * (payloads[2] - long_cap * bits))
+
+        rem = remainder > 0
+        if rem.any():
+            r_bits = bits[rem]
+            r_vals = remainder[rem]
+            r_bounds = np.searchsorted(group[rem], np.arange(num_groups + 1))
+            mode = np.where(r_vals <= payloads[0] // r_bits, 0,
+                            np.where(r_vals <= payloads[1] // r_bits, 1, 2))
+            num_packages += np.diff(r_bounds)
+
+            def rem_segment_sum(weights):
+                csum = np.concatenate([[0], np.cumsum(weights)])
+                return csum[r_bounds[1:]] - csum[r_bounds[:-1]]
+
+            package_bits += rem_segment_sum(lengths[mode])
+            padding += rem_segment_sum(payloads[mode] - r_vals * r_bits)
+        return num_packages, package_bits, padding
+
     def measure(self, nnz_per_node: np.ndarray, bits_per_node: np.ndarray,
                 feature_dim: int) -> FormatReport:
-        """Exact footprint from statistics, mirroring the greedy encoder."""
+        """Exact footprint from statistics, mirroring the greedy encoder.
+
+        Runs of consecutive nodes sharing a bitwidth map to one register
+        run, exactly as the encoder behaves; the per-run Python loop of
+        the seed (kept as
+        :func:`repro.perf.reference.measure_adaptive_package_reference`)
+        is replaced by pure-integer array arithmetic over the runs, so
+        the result is bit-identical.
+        """
         nnz = np.asarray(nnz_per_node, dtype=np.int64)
         bits = np.asarray(bits_per_node, dtype=np.int64)
-        cfg = self.config
 
-        package_bits = 0
-        padding = 0
-        num_packages = 0
-        # Runs of consecutive nodes sharing a bitwidth map to one
-        # register run, exactly as the encoder behaves.
         boundaries = np.nonzero(np.diff(bits))[0] + 1
         starts = np.concatenate([[0], boundaries])
         stops = np.concatenate([boundaries, [len(bits)]])
-        for start, stop in zip(starts, stops):
-            b = int(bits[start])
-            total_values = int(nnz[start:stop].sum())
-            if total_values == 0:
-                continue
-            long_cap = cfg.capacity(2, b)
-            full_longs, remainder = divmod(total_values, long_cap)
-            num_packages += full_longs
-            package_bits += full_longs * cfg.lengths[2]
-            padding += full_longs * (cfg.payload_bits(2) - long_cap * b)
-            if remainder:
-                mode = cfg.smallest_mode_for(remainder, b)
-                num_packages += 1
-                package_bits += cfg.lengths[mode]
-                padding += cfg.payload_bits(mode) - remainder * b
+        run_bits = bits[starts]
+        offsets = np.concatenate([[0], np.cumsum(nnz)])
+        run_total = offsets[stops] - offsets[starts]
+        num_pkg, pkg_bits, padding = self._run_package_stats(
+            run_bits, run_total, np.zeros(len(run_bits), dtype=np.int64), 1)
+        num_packages = int(num_pkg[0])
+        package_bits = int(pkg_bits[0])
         index_bits = int(node_index_bits(nnz, feature_dim).sum())
         return FormatReport(
             self.name,
@@ -320,11 +380,63 @@ class AdaptivePackageFormat(SparseFormat):
             {
                 "packages": package_bits,
                 "bitmap": index_bits,
-                "padding": padding,
+                "padding": int(padding[0]),
                 "headers": HEADER_BITS * num_packages,
                 "num_packages": num_packages,
             },
         )
+
+    def measure_batch(self, nnz_per_node: np.ndarray, bits_stack: np.ndarray,
+                      feature_dim: int) -> List[FormatReport]:
+        """:meth:`measure` for J jobs sharing one sparsity pattern.
+
+        ``bits_stack`` is (J, N) — one per-node bitwidth row per job —
+        while ``nnz_per_node`` (N,) is shared.  All J jobs are measured
+        in one stacked pass: run boundaries are found on the flattened
+        stack (with forced breaks at row edges so registers never span
+        jobs) and package counts accumulate into per-job slots.  Each
+        returned report is bit-identical to calling :meth:`measure` on
+        the corresponding row.
+        """
+        nnz = np.asarray(nnz_per_node, dtype=np.int64)
+        stack = np.ascontiguousarray(np.asarray(bits_stack, dtype=np.int64))
+        if stack.ndim != 2 or stack.shape[1] != len(nnz):
+            raise ValueError("bits_stack must be (num_jobs, num_nodes)")
+        jobs, n = stack.shape
+        if jobs == 0:
+            return []
+        flat = stack.ravel()
+
+        if n:
+            breaks = flat[1:] != flat[:-1]
+            breaks[n - 1::n] = True  # force register flushes at row edges
+            boundaries = np.flatnonzero(breaks) + 1
+        else:
+            boundaries = np.zeros(0, dtype=np.int64)
+        starts = np.concatenate([[0], boundaries]).astype(np.int64)
+        stops = np.concatenate([boundaries, [jobs * n]]).astype(np.int64)
+        run_group = starts // max(n, 1)
+        run_bits = flat[starts]
+        offsets = np.concatenate([[0], np.cumsum(nnz)])
+        run_total = offsets[stops - run_group * n] - offsets[starts - run_group * n]
+
+        num_pkg, pkg_bits, padding = self._run_package_stats(
+            run_bits, run_total, run_group, jobs)
+        index_bits = int(node_index_bits(nnz, feature_dim).sum())
+        return [
+            FormatReport(
+                self.name,
+                int(pkg_bits[j]) + index_bits,
+                {
+                    "packages": int(pkg_bits[j]),
+                    "bitmap": index_bits,
+                    "padding": int(padding[j]),
+                    "headers": HEADER_BITS * int(num_pkg[j]),
+                    "num_packages": int(num_pkg[j]),
+                },
+            )
+            for j in range(jobs)
+        ]
 
     # ------------------------------------------------------------------
     def package_count(self, nnz_per_node: np.ndarray, bits_per_node: np.ndarray) -> int:

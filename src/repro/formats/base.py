@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
+from ..xp import np
 
 __all__ = ["FormatReport", "SparseFormat", "bits_needed"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
+from ..xp import np
 
 from .base import FormatReport, SparseFormat, bits_needed
 

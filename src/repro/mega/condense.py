@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
+from ..xp import np
 import scipy.sparse as sp
 
 from ..graphs.partition import partition_graph

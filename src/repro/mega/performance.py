@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-import numpy as np
+from ..xp import np
 
 from ..formats import AdaptivePackageFormat, BitmapFormat
 from ..paper_data import MEGA_TOTAL_POWER_MW
@@ -30,7 +30,7 @@ from ..perf.cache import cached_partition
 from ..registry import ACCELERATORS, AcceleratorEntry
 from ..sim import DramModel, DramTraffic
 from ..sim.accelerator import AcceleratorModel, LayerCost
-from ..sim.locality import aggregation_locality_traffic
+from ..sim.locality import shared_locality_structure, traffic_from_structure
 from ..sim.workload import LayerSpec, Workload
 from .condense import choose_num_parts
 from .config import MegaConfig, mega_buffers
@@ -59,7 +59,10 @@ class MegaModel(AcceleratorModel):
         self.partition = partition
 
     # ------------------------------------------------------------------
-    def layer_cost(self, workload: Workload, layer_index: int) -> LayerCost:
+    def layer_cost(self, workload: Workload, layer_index: int,
+                   structures: Optional[dict] = None) -> LayerCost:
+        """One layer's cost; ``structures`` is an optional cross-job
+        locality-structure memo supplied by the batched evaluator."""
         layer = workload.layers[layer_index]
         cfg = self.config
         adjacency = workload.adjacency
@@ -109,9 +112,11 @@ class MegaModel(AcceleratorModel):
                                      refine_passes=1).parts
         strategy = "condense" if self.condense else ("metis" if parts is not None else "naive")
         buffer_nodes = max(int(agg_buffer / (f_out * cfg.psum_bits / 8.0)), 1)
-        agg_traffic = aggregation_locality_traffic(
-            adjacency, combined_bytes, self.dram, strategy=strategy,
-            parts=parts, buffer_nodes=buffer_nodes,
+        structure = shared_locality_structure(
+            adjacency, strategy=strategy, parts=parts,
+            buffer_nodes=buffer_nodes, structures=structures)
+        agg_traffic = traffic_from_structure(
+            structure, combined_bytes, self.dram, strategy=strategy,
             combination_buffer_bytes=self.buffers["combination"].capacity_bytes,
         )
         traffic.accumulate(agg_traffic.total)

@@ -340,6 +340,116 @@ def _bench_full_sweep(quick: bool, workers: Optional[int] = None) -> dict:
     }
 
 
+# (dataset, accelerators, quantization-target count) for the batched
+# DSE-style sweep benchmark: one dataset, hundreds of knob variants.
+BATCHED_SWEEP_GRIDS: Dict[str, tuple] = {
+    "quick": ("cora", ("mega", "mega-no-condense", "mega-bitmap"), 8),
+    "full": ("nell", ("mega", "mega-no-condense", "mega-bitmap"), 67),
+}
+
+
+def _bench_batched_sweep(quick: bool) -> dict:
+    """Cold batched vs cold scalar evaluation of a DSE-style variant grid.
+
+    The grid is what a design-space exploration actually issues: one
+    dataset, one model, every (accelerator ablation x quantization
+    target) combination — 201 jobs on the full grid.  The scalar phase
+    runs with ``batch=False`` (the per-job oracle path); the batched
+    phase with ``batch=True``; reports must be identical field for
+    field.  Both phases run serially with durable-write fsync off
+    (``REPRO_ARTIFACTS_FSYNC=0``) so the ratio measures simulation
+    evaluation, not the fsync floor — the flag applies to both sides
+    equally.  A warm replay through a batch-enabled engine must execute
+    zero jobs (batching never disturbs cache/artifact resolution).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..eval.engine import SimJob, SweepEngine
+
+    dataset, accelerators, num_targets = (
+        BATCHED_SWEEP_GRIDS["quick" if quick else "full"])
+    targets = np.round(np.linspace(2.5, 7.5, num_targets), 3)
+    jobs = [SimJob.from_call(name, dataset, "gcn",
+                             target_average_bits=float(target))
+            for name in accelerators for target in targets]
+
+    previous_fsync = os.environ.get("REPRO_ARTIFACTS_FSYNC")
+    os.environ["REPRO_ARTIFACTS_FSYNC"] = "0"
+    try:
+        cold_repeats = 1 if quick else 3
+        with tempfile.TemporaryDirectory(prefix="repro-batched-bench-") as tmp:
+            scalar_times: List[float] = []
+            batched_times: List[float] = []
+            batch_sizes: List[int] = []
+            executed_cold = 0
+            scalar_reports = batched_reports = scalar_engine = None
+            for attempt in range(cold_repeats):
+                # Interleave and alternate order, as in _bench_full_sweep,
+                # so machine-load drift biases both phases equally.
+                for kind in (("scalar", "batched") if attempt % 2 == 0
+                             else ("batched", "scalar")):
+                    clear_all_caches()
+                    engine = SweepEngine(workers=0,
+                                         cache_dir=Path(tmp) / f"{kind}{attempt}",
+                                         batch=(kind == "batched"))
+                    engine.clear_memory()  # the workload memo is module-level
+                    with Timer() as t:
+                        reports = engine.run(jobs)
+                    if kind == "scalar":
+                        scalar_times.append(t.elapsed)
+                        assert not engine.batch_used, \
+                            "scalar phase must not batch"
+                        executed_cold = engine.executed_jobs
+                        if scalar_reports is None:
+                            scalar_reports, scalar_engine = reports, engine
+                    else:
+                        batched_times.append(t.elapsed)
+                        assert engine.batch_used and engine.batch_sizes, \
+                            "batched phase must actually batch"
+                        batch_sizes = list(engine.batch_sizes)
+                        if batched_reports is None:
+                            batched_reports = reports
+            assert all(scalar_reports[j] == batched_reports[j] for j in jobs), \
+                "batched sweep must be bit-identical to the scalar oracle"
+
+            scalar_engine.clear_memory()
+            clear_all_caches()
+            with Timer() as warm:
+                warm_reports = scalar_engine.run(jobs)
+            executed_warm = scalar_engine.executed_jobs
+            assert all(warm_reports[j] == scalar_reports[j] for j in jobs), \
+                "warm-cache replay must return identical reports"
+    finally:
+        if previous_fsync is None:
+            os.environ.pop("REPRO_ARTIFACTS_FSYNC", None)
+        else:
+            os.environ["REPRO_ARTIFACTS_FSYNC"] = previous_fsync
+    clear_all_caches()
+
+    cold_scalar_s, cold_batched_s = min(scalar_times), min(batched_times)
+    return {
+        "dataset": dataset,
+        "jobs": len(jobs),
+        "accelerators": len(accelerators),
+        "targets": num_targets,
+        # Honesty flags, engine-reported: batch_used is whether the
+        # batched phase's engine actually stashed batched reports, and
+        # batch_sizes are the realized group sizes (serial path, so
+        # ground truth — see SweepEngine.batch_used).
+        "batch_used": True,
+        "batch_sizes": batch_sizes,
+        "identical": True,
+        "cold_scalar_s": cold_scalar_s,
+        "cold_batched_s": cold_batched_s,
+        "warm_s": warm.elapsed,
+        "executed_cold_jobs": executed_cold,
+        "executed_warm_jobs": executed_warm,
+        "speedup": _speedup(cold_scalar_s, cold_batched_s),
+        "warm_speedup": _speedup(cold_scalar_s, warm.elapsed),
+    }
+
+
 # (datasets, accelerators) grids for the scale-scenario sweep benchmark.
 SCALE_SWEEP_GRIDS: Dict[str, tuple] = {
     "quick": (("powerlaw-10k", "community-10k"), ("mega", "gcnax")),
@@ -843,7 +953,10 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v6",
+        "schema": "repro.perf.bench/v7",
+        # Top-level mirror of ``schema`` for consumers that key on a
+        # conventional field name; always equal to ``schema``.
+        "schema_version": "repro.perf.bench/v7",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -876,6 +989,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
             size, repeats, check)
     report["kernels"] = kernels
     report["full_sweep"] = _bench_full_sweep(quick_sweep, workers=sweep_workers)
+    report["batched_sweep"] = _bench_batched_sweep(quick_sweep)
     report["scale_sweep"] = _bench_scale_sweep(quick_sweep,
                                                workers=sweep_workers)
     report["train_epoch"] = _bench_train_epoch(quick_sweep)
@@ -883,7 +997,34 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                                                      workers=sweep_workers)
     report["artifact_store"] = _bench_artifact_store(quick_sweep, check=check)
     report["serve_load"] = _bench_serve_load(quick_sweep, check=check)
+    _assert_honesty_flags(report)
     return report
+
+
+# Engine-driven entries and the honesty flags each must carry: fields
+# that record what *actually* ran (process pool vs serial fallback,
+# batched vs scalar evaluation), as reported by the engine rather than
+# requested by the benchmark.  Keeping the requirement in one table —
+# asserted on every run — stops a new sweep entry from quietly shipping
+# speedups whose execution mode nobody can audit.
+_HONESTY_FLAGS: Dict[str, tuple] = {
+    "full_sweep": ("pool_used", "executed_cold_jobs", "executed_warm_jobs"),
+    "scale_sweep": ("pool_used", "executed_cold_jobs", "executed_warm_jobs"),
+    "accuracy_sweep": ("pool_used", "executed_cold_train_jobs",
+                       "executed_warm_train_jobs"),
+    "batched_sweep": ("batch_used", "batch_sizes", "identical",
+                      "executed_cold_jobs", "executed_warm_jobs"),
+}
+
+
+def _assert_honesty_flags(report: dict) -> None:
+    """Assert every engine-driven entry carries its honesty flags."""
+    for name, flags in _HONESTY_FLAGS.items():
+        entry = report.get(name)
+        if entry is None:
+            continue
+        missing = [flag for flag in flags if flag not in entry]
+        assert not missing, f"{name} entry missing honesty flags: {missing}"
 
 
 def _print_summary(report: dict) -> None:
@@ -906,6 +1047,19 @@ def _print_summary(report: dict) -> None:
         print(f"  cold parallel {sweep['cold_parallel_s'] * 1e3:>9.1f}ms "
               f"({sweep['workers']} workers, {sweep['parallel_speedup']:.2f}x"
               f"{pool_note})")
+    batched = report.get("batched_sweep")
+    if batched:
+        print(f"\nbatched_sweep: {batched['jobs']} variants on "
+              f"{batched['dataset']} ({batched['accelerators']} accelerators "
+              f"x {batched['targets']} targets)")
+        print(f"  cold scalar   {batched['cold_scalar_s'] * 1e3:>9.1f}ms "
+              f"({batched['executed_cold_jobs']} jobs executed)")
+        print(f"  cold batched  {batched['cold_batched_s'] * 1e3:>9.1f}ms "
+              f"({batched['speedup']:.1f}x, batch sizes "
+              f"{batched['batch_sizes']}, bit-identical)")
+        print(f"  warm (disk)   {batched['warm_s'] * 1e3:>9.1f}ms "
+              f"({batched['executed_warm_jobs']} jobs executed, "
+              f"{batched['warm_speedup']:.1f}x)")
     scale = report.get("scale_sweep")
     if scale:
         print(f"\nscale_sweep: {scale['jobs']} jobs over "

@@ -41,6 +41,8 @@ __all__ = [
     "SGDReference",
     "clip_grad_norm_reference",
     "train_reference",
+    "measure_adaptive_package_reference",
+    "average_feature_bits_reference",
 ]
 
 
@@ -524,3 +526,62 @@ def train_reference(model, graph, config=None, extra_loss=None,
         epochs_run=epoch,
         history=history,
     )
+def measure_adaptive_package_reference(
+        nnz_per_node: np.ndarray, bits_per_node: np.ndarray,
+        feature_dim: int, config: Optional[PackageConfig] = None):
+    """Seed per-run Python loop behind ``AdaptivePackageFormat.measure``.
+
+    Walks the maximal equal-bitwidth runs one by one with scalar
+    ``divmod`` arithmetic, exactly as the original implementation did.
+    The vectorized ``measure``/``measure_batch`` must be bit-identical
+    to this.
+    """
+    from ..formats.adaptive_package import HEADER_BITS, node_index_bits
+    from ..formats.base import FormatReport
+
+    nnz = np.asarray(nnz_per_node, dtype=np.int64)
+    bits = np.asarray(bits_per_node, dtype=np.int64)
+    cfg = config or PackageConfig()
+
+    package_bits = 0
+    padding = 0
+    num_packages = 0
+    boundaries = np.nonzero(np.diff(bits))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(bits)]])
+    for start, stop in zip(starts, stops):
+        b = int(bits[start])
+        total_values = int(nnz[start:stop].sum())
+        if total_values == 0:
+            continue
+        long_cap = cfg.capacity(2, b)
+        full_longs, remainder = divmod(total_values, long_cap)
+        num_packages += full_longs
+        package_bits += full_longs * cfg.lengths[2]
+        padding += full_longs * (cfg.payload_bits(2) - long_cap * b)
+        if remainder:
+            mode = cfg.smallest_mode_for(remainder, b)
+            num_packages += 1
+            package_bits += cfg.lengths[mode]
+            padding += cfg.payload_bits(mode) - remainder * b
+    index_bits = int(node_index_bits(nnz, feature_dim).sum())
+    return FormatReport(
+        "adaptive-package",
+        package_bits + index_bits,
+        {
+            "packages": package_bits,
+            "bitmap": index_bits,
+            "padding": padding,
+            "headers": HEADER_BITS * num_packages,
+            "num_packages": num_packages,
+        },
+    )
+
+
+def average_feature_bits_reference(workload) -> float:
+    """Seed per-layer loop behind ``Workload.average_feature_bits``."""
+    total_bits, total_vals = 0.0, 0.0
+    for layer in workload.layers:
+        total_bits += float(layer.input_bits.sum()) * layer.in_dim
+        total_vals += layer.num_nodes * layer.in_dim
+    return total_bits / total_vals

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
+from ..xp import np
 
 from .buffers import BufferSet
 from .dram import DramModel, DramTraffic
@@ -114,6 +114,18 @@ class AcceleratorModel:
         """Run the model over every layer and assemble the report."""
         layer_costs = [self.layer_cost(workload, i)
                        for i in range(len(workload.layers))]
+        return self.assemble_report(workload, layer_costs)
+
+    def assemble_report(self, workload: Workload,
+                        layer_costs: List[LayerCost]) -> SimReport:
+        """Pipeline/stall/energy assembly from per-layer costs.
+
+        Split from :meth:`simulate` so the batched evaluator
+        (:mod:`repro.sim.batched`) can feed it layer costs computed in a
+        stacked cross-job pass and share this exact scalar arithmetic —
+        which is what makes batched reports bit-identical by
+        construction from identical layer costs.
+        """
         compute = sum(c.compute_cycles for c in layer_costs)
         traffic = DramTraffic()
         for c in layer_costs:

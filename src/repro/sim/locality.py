@@ -24,13 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
+from ..xp import np
 import scipy.sparse as sp
 
 from ..graphs.sparse_utils import coo_view, cross_edge_mask
 from .dram import DramModel, DramTraffic
 
-__all__ = ["AggregationTraffic", "aggregation_locality_traffic", "cross_subgraph_pairs"]
+__all__ = ["AggregationTraffic", "LocalityStructure", "aggregation_locality_traffic",
+           "locality_structure", "shared_locality_structure", "traffic_from_structure",
+           "cross_subgraph_pairs"]
 
 STRATEGIES = ("naive", "metis", "gcod", "condense")
 
@@ -74,6 +76,150 @@ def _contiguous_tiles(num_nodes: int, tile_nodes: int) -> np.ndarray:
     return (np.arange(num_nodes) // tile_nodes).astype(np.int64)
 
 
+class LocalityStructure:
+    """Strategy-independent structural statistics of (adjacency, tiles).
+
+    Everything expensive about the locality model — the O(E) cross-edge
+    predicate and the O(E log E) unique-pair dedups — depends only on
+    the adjacency and the tile assignment, not on the per-job feature
+    size, scheduling strategy, or buffer geometry.  Splitting it out
+    lets the batched evaluator compute it once per (graph, tiling) and
+    reuse it across every job in a batch; ``unique_pairs`` is lazy so
+    the scalar path keeps paying it only for the gcod/condense
+    strategies, exactly as the seed did.
+    """
+
+    def __init__(self, adjacency: sp.csr_matrix, tiles: np.ndarray) -> None:
+        self._adjacency = adjacency
+        self._tiles = tiles
+        self.num_nodes = adjacency.shape[0]
+        coo = coo_view(adjacency)
+        cross_mask = cross_edge_mask(adjacency, tiles)
+        self._cross_mask = cross_mask
+        self.num_cross_edges = int(cross_mask.sum())
+        dst_part = tiles[coo.row[~cross_mask]]
+        src_internal = coo.col[~cross_mask]
+        if len(src_internal):
+            keys = dst_part.astype(np.int64) * self.num_nodes + src_internal
+            self.internal_unique = len(np.unique(keys))
+        else:
+            self.internal_unique = 0
+        part_sizes = np.bincount(tiles)
+        self.mean_part_size = float(part_sizes.mean()) if len(part_sizes) else 0.0
+        self._unique_pairs: Optional[int] = None
+
+    @property
+    def unique_pairs(self) -> int:
+        """Unique (destination-subgraph, source) sparse-connection pairs."""
+        if self._unique_pairs is None:
+            pairs, _, _ = cross_subgraph_pairs(self._adjacency, self._tiles,
+                                               cross=self._cross_mask)
+            self._unique_pairs = pairs
+        return self._unique_pairs
+
+
+def locality_structure(
+    adjacency: sp.csr_matrix,
+    strategy: str = "condense",
+    parts: Optional[np.ndarray] = None,
+    buffer_nodes: Optional[int] = None,
+) -> LocalityStructure:
+    """Build the :class:`LocalityStructure` the strategy would tile with."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    n = adjacency.shape[0]
+    if strategy == "naive" or parts is None:
+        tiles = _contiguous_tiles(n, buffer_nodes or n)
+    else:
+        tiles = np.asarray(parts, dtype=np.int64)
+    return LocalityStructure(adjacency, tiles)
+
+
+def shared_locality_structure(
+    adjacency: sp.csr_matrix,
+    strategy: str = "condense",
+    parts: Optional[np.ndarray] = None,
+    buffer_nodes: Optional[int] = None,
+    structures: Optional[dict] = None,
+) -> LocalityStructure:
+    """:func:`locality_structure` with an optional cross-job memo.
+
+    ``structures`` is a dict owned by one batched-evaluation pass; keys
+    identify the tiling by object identity (``id(adjacency)`` /
+    ``id(parts)``), which is safe exactly because the dict never
+    outlives the batch holding those objects alive.  With
+    ``structures=None`` this is the plain scalar path.
+    """
+    if structures is None:
+        return locality_structure(adjacency, strategy=strategy, parts=parts,
+                                  buffer_nodes=buffer_nodes)
+    if strategy == "naive" or parts is None:
+        key = (id(adjacency), "contig", buffer_nodes or adjacency.shape[0])
+    else:
+        key = (id(adjacency), "parts", id(parts))
+    structure = structures.get(key)
+    if structure is None:
+        structure = structures[key] = locality_structure(
+            adjacency, strategy=strategy, parts=parts, buffer_nodes=buffer_nodes)
+    return structure
+
+
+def traffic_from_structure(
+    structure: LocalityStructure,
+    feature_bytes_per_node: float,
+    dram: DramModel,
+    strategy: str = "condense",
+    combination_buffer_bytes: float = 96 * 1024,
+    sparse_buffer_bytes: float = 32 * 1024,
+) -> AggregationTraffic:
+    """Per-job scalar arithmetic of the locality model.
+
+    Consumes a precomputed (shareable) :class:`LocalityStructure`; the
+    strategy/feature/buffer-dependent part is a handful of scalar ops.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    n = structure.num_nodes
+    feat = float(feature_bytes_per_node)
+
+    # Internal traffic: combined features are written once, and each
+    # subgraph re-reads its internal unique sources only when they no
+    # longer fit in the combination buffer.
+    avg_part_bytes = structure.mean_part_size * feat
+    write_all = dram.sequential_access(n * feat, purpose="agg_feature_write")
+    if avg_part_bytes > combination_buffer_bytes:
+        internal_reads = dram.sequential_access(structure.internal_unique * feat,
+                                                purpose="agg_internal_read")
+    else:
+        internal_reads = DramTraffic()
+    internal = write_all + internal_reads
+
+    reorder_writes = DramTraffic()
+    if strategy == "naive":
+        cross = dram.random_access(structure.num_cross_edges, feat,
+                                   purpose="agg_cross_read")
+    elif strategy == "metis":
+        # GROW: sparse connections stream per edge at transaction
+        # granularity — no reuse across edges of the same source.
+        cross = dram.random_access(structure.num_cross_edges, feat,
+                                   purpose="agg_cross_read")
+    elif strategy == "gcod":
+        cross = dram.random_access(structure.unique_pairs, feat,
+                                   purpose="agg_cross_read")
+    else:  # condense
+        useful = structure.unique_pairs * feat
+        # The Condense Unit wrote these features contiguously per
+        # subgraph while the first subgraph aggregated; reading them
+        # back is fully sequential.  Regions that fit in the Sparse
+        # Buffer never leave the chip — only the overflow is written
+        # back to DRAM (Algorithm 1, line 16).
+        spill = max(0.0, useful - sparse_buffer_bytes)
+        cross = dram.sequential_access(spill, purpose="agg_cross_read")
+        reorder_writes = dram.sequential_access(spill, purpose="condense_write")
+    return AggregationTraffic(internal=internal, cross=cross,
+                              reorder_writes=reorder_writes)
+
+
 def aggregation_locality_traffic(
     adjacency: sp.csr_matrix,
     feature_bytes_per_node: float,
@@ -97,62 +243,9 @@ def aggregation_locality_traffic(
     buffer_nodes:
         Aggregation-buffer capacity in nodes (partial-sum residency).
     """
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
-    n = adjacency.shape[0]
-    feat = float(feature_bytes_per_node)
-
-    if strategy == "naive" or parts is None:
-        tiles = _contiguous_tiles(n, buffer_nodes or n)
-    else:
-        tiles = np.asarray(parts, dtype=np.int64)
-
-    coo = coo_view(adjacency)
-    cross_mask = cross_edge_mask(adjacency, tiles)
-    num_cross_edges = int(cross_mask.sum())
-
-    # Internal traffic: combined features are written once, and each
-    # subgraph re-reads its internal unique sources only when they no
-    # longer fit in the combination buffer.
-    dst_part = tiles[coo.row[~cross_mask]]
-    src_internal = coo.col[~cross_mask]
-    if len(src_internal):
-        keys = dst_part.astype(np.int64) * n + src_internal
-        internal_unique = len(np.unique(keys))
-    else:
-        internal_unique = 0
-    part_sizes = np.bincount(tiles)
-    avg_part_bytes = float(part_sizes.mean()) * feat if len(part_sizes) else 0.0
-    write_all = dram.sequential_access(n * feat, purpose="agg_feature_write")
-    if avg_part_bytes > combination_buffer_bytes:
-        internal_reads = dram.sequential_access(internal_unique * feat,
-                                                purpose="agg_internal_read")
-    else:
-        internal_reads = DramTraffic()
-    internal = write_all + internal_reads
-
-    reorder_writes = DramTraffic()
-    if strategy == "naive":
-        cross = dram.random_access(num_cross_edges, feat, purpose="agg_cross_read")
-    elif strategy == "metis":
-        # GROW: sparse connections stream per edge at transaction
-        # granularity — no reuse across edges of the same source.
-        cross = dram.random_access(num_cross_edges, feat, purpose="agg_cross_read")
-    elif strategy == "gcod":
-        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles,
-                                                  cross=cross_mask)
-        cross = dram.random_access(unique_pairs, feat, purpose="agg_cross_read")
-    else:  # condense
-        unique_pairs, _, _ = cross_subgraph_pairs(adjacency, tiles,
-                                                  cross=cross_mask)
-        useful = unique_pairs * feat
-        # The Condense Unit wrote these features contiguously per
-        # subgraph while the first subgraph aggregated; reading them
-        # back is fully sequential.  Regions that fit in the Sparse
-        # Buffer never leave the chip — only the overflow is written
-        # back to DRAM (Algorithm 1, line 16).
-        spill = max(0.0, useful - sparse_buffer_bytes)
-        cross = dram.sequential_access(spill, purpose="agg_cross_read")
-        reorder_writes = dram.sequential_access(spill, purpose="condense_write")
-    return AggregationTraffic(internal=internal, cross=cross,
-                              reorder_writes=reorder_writes)
+    structure = locality_structure(adjacency, strategy=strategy, parts=parts,
+                                   buffer_nodes=buffer_nodes)
+    return traffic_from_structure(
+        structure, feature_bytes_per_node, dram, strategy=strategy,
+        combination_buffer_bytes=combination_buffer_bytes,
+        sparse_buffer_bytes=sparse_buffer_bytes)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
+from ..xp import np
 import scipy.sparse as sp
 
 from ..graphs import Graph
@@ -27,8 +27,10 @@ __all__ = [
     "LayerSpec",
     "Workload",
     "build_workload",
+    "build_workload_batch",
     "workload_from_quant_run",
     "synthesize_degree_aware_bits",
+    "synthesize_degree_aware_bits_batch",
     "FIG5_HIDDEN_DENSITY",
     "PAPER_AVERAGE_BITS",
 ]
@@ -85,10 +87,28 @@ class Workload:
         return np.asarray(self.adjacency.astype(bool).sum(axis=1)).reshape(-1)
 
     def average_feature_bits(self) -> float:
-        total_bits, total_vals = 0.0, 0.0
-        for layer in self.layers:
-            total_bits += float(layer.input_bits.sum()) * layer.in_dim
-            total_vals += layer.num_nodes * layer.in_dim
+        """Mean storage bits per feature value over all layer inputs.
+
+        One stacked computation over the (layer, node) bit matrix
+        instead of the seed's per-layer Python accumulation (kept as
+        :func:`repro.perf.reference.average_feature_bits_reference`).
+        All intermediate products are integers exactly representable in
+        float64, so the result is bit-identical to the seed loop.
+        """
+        if not self.layers:
+            return 0.0 / 0.0  # seed behaviour: ZeroDivisionError
+        if len({layer.num_nodes for layer in self.layers}) == 1:
+            layer_sums = np.stack(
+                [layer.input_bits for layer in self.layers]
+            ).astype(np.int64).sum(axis=1)
+        else:  # ragged layers: per-layer sums, still one stacked reduce
+            layer_sums = np.array(
+                [layer.input_bits.astype(np.int64).sum() for layer in self.layers],
+                dtype=np.int64)
+        in_dims = np.array([layer.in_dim for layer in self.layers], dtype=np.int64)
+        nodes = np.array([layer.num_nodes for layer in self.layers], dtype=np.int64)
+        total_bits = float((layer_sums.astype(np.float64) * in_dims).sum())
+        total_vals = float((nodes * in_dims).sum())
         return total_bits / total_vals
 
     def compression_ratio(self) -> float:
@@ -127,6 +147,69 @@ def synthesize_degree_aware_bits(
     return np.clip(np.round(bits), min_bits, max_bits).astype(np.int64)
 
 
+def synthesize_degree_aware_bits_batch(
+    degrees: np.ndarray,
+    target_averages,
+    min_bits: int = 2,
+    max_bits: int = 8,
+) -> np.ndarray:
+    """Stacked :func:`synthesize_degree_aware_bits` over T targets.
+
+    The O(n log n) degree ranking is computed once and the per-target
+    allocation becomes one (T, n) broadcast; every row is bit-identical
+    to the scalar call with the same target (the scalar path applies the
+    same float64 scalar ops elementwise, and ranking is deterministic).
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    n = len(degrees)
+    targets = np.clip(np.asarray(list(target_averages), dtype=np.float64),
+                      min_bits, max_bits)
+    ranks = degrees.argsort().argsort() / max(n - 1, 1)
+    span = max_bits - min_bits
+    tail = np.clip(2.0 * (targets - min_bits) / span, 0.0, 1.0)
+
+    out = np.full((len(targets), n), min_bits, dtype=np.int64)
+    active = tail > 0
+    if active.any():
+        t = tail[active][:, None]
+        rise = (ranks[None, :] - (1.0 - t)) / t
+        bits = min_bits + np.clip(rise, 0.0, 1.0) * span
+        out[active] = np.clip(np.round(bits), min_bits, max_bits).astype(np.int64)
+    return out
+
+
+def _workload_base(entry, model_key: str, seed: int, graph: Optional[Graph]):
+    """Structural precompute shared by every variant of one
+    (dataset, model, seed): sampled adjacency, degrees, and the
+    rng-derived sparsity statistics.  The rng consumption order here is
+    exactly the seed ``build_workload`` sequence — and is independent of
+    the quantization target — which is what makes the batch builder
+    bit-identical to N scalar builds."""
+    spec = MODEL_SPECS[model_key]
+    if graph is None:
+        graph = entry.load(scale="sim", seed=seed)
+    rng = np.random.default_rng(seed + 17)
+
+    adjacency = graph.adjacency
+    if spec["sample"] is not None:
+        adjacency = graph.sample_neighbors(spec["sample"],
+                                           rng=np.random.default_rng(seed)).adjacency
+    n = adjacency.shape[0]
+    degrees = np.asarray(adjacency.astype(bool).sum(axis=1)).reshape(-1)
+
+    # Input layer: paper-scale feature length + per-node sparsity.
+    feature_dim, input_nnz = entry.feature_stats(rng=rng)
+    input_nnz = input_nnz[:n] if len(input_nnz) >= n else np.resize(input_nnz, n)
+
+    hidden = spec["hidden"]
+    hidden_density = entry.hidden_density(model_key)
+    spread = rng.lognormal(0.0, 0.25, size=n)
+    hidden_nnz = np.clip(
+        np.round(hidden * hidden_density * spread), 1, hidden
+    ).astype(np.int64)
+    return adjacency, n, degrees, feature_dim, input_nnz, hidden, hidden_nnz
+
+
 def build_workload(
     dataset: str,
     model_name: str,
@@ -152,28 +235,8 @@ def build_workload(
     """
     model_key = model_name.lower()
     entry = get_dataset(dataset)
-    spec = MODEL_SPECS[model_key]
-    if graph is None:
-        graph = entry.load(scale="sim", seed=seed)
-    rng = np.random.default_rng(seed + 17)
-
-    adjacency = graph.adjacency
-    if spec["sample"] is not None:
-        adjacency = graph.sample_neighbors(spec["sample"],
-                                           rng=np.random.default_rng(seed)).adjacency
-    n = adjacency.shape[0]
-    degrees = np.asarray(adjacency.astype(bool).sum(axis=1)).reshape(-1)
-
-    # Input layer: paper-scale feature length + per-node sparsity.
-    feature_dim, input_nnz = entry.feature_stats(rng=rng)
-    input_nnz = input_nnz[:n] if len(input_nnz) >= n else np.resize(input_nnz, n)
-
-    hidden = spec["hidden"]
-    hidden_density = entry.hidden_density(model_key)
-    spread = rng.lognormal(0.0, 0.25, size=n)
-    hidden_nnz = np.clip(
-        np.round(hidden * hidden_density * spread), 1, hidden
-    ).astype(np.int64)
+    adjacency, n, degrees, feature_dim, input_nnz, hidden, hidden_nnz = \
+        _workload_base(entry, model_key, seed, graph)
 
     if precision == "fp32":
         bits0 = np.full(n, 32, dtype=np.int64)
@@ -187,8 +250,8 @@ def build_workload(
         # below ~2.4 would degenerate to an all-2-bit allocation with no
         # high-precision tail; keep the tail the trained quantizer shows.
         target = max(target, 2.4)
-        bits0 = synthesize_degree_aware_bits(degrees, target, rng=rng)
-        bits1 = synthesize_degree_aware_bits(degrees, target, rng=rng)
+        bits0 = synthesize_degree_aware_bits(degrees, target)
+        bits1 = synthesize_degree_aware_bits(degrees, target)
     else:
         raise ValueError(f"unknown precision {precision!r}")
 
@@ -206,6 +269,69 @@ def build_workload(
         precision=precision,
         metadata={"feature_dim": feature_dim, "hidden": hidden},
     )
+
+
+def build_workload_batch(
+    dataset: str,
+    model_name: str,
+    precision: str = "degree-aware",
+    seed: int = 0,
+    graph: Optional[Graph] = None,
+    targets=(None,),
+) -> List[Workload]:
+    """N workloads over one dataset, sharing all structural precompute.
+
+    ``targets`` is a sequence of ``target_average_bits`` values (each
+    may be ``None`` to take the dataset's registered paper average).
+    Graph loading, neighbour sampling, degree counting, and the
+    rng-derived sparsity statistics are computed once; only the
+    per-node bitwidth allocation varies per target, and that is
+    synthesized as one stacked (T, n) pass.  Element ``i`` of the
+    result is bit-identical to
+    ``build_workload(..., target_average_bits=targets[i])``.
+    """
+    model_key = model_name.lower()
+    entry = get_dataset(dataset)
+    adjacency, n, degrees, feature_dim, input_nnz, hidden, hidden_nnz = \
+        _workload_base(entry, model_key, seed, graph)
+    adjacency = adjacency.tocsr()
+
+    if precision == "fp32":
+        rows0 = rows1 = [np.full(n, 32, dtype=np.int64)] * len(targets)
+        weight_bits = 32
+    elif precision in ("int8", "uniform-int8"):
+        rows0 = rows1 = [np.full(n, 8, dtype=np.int64)] * len(targets)
+        weight_bits = 8
+    elif precision == "degree-aware":
+        resolved = [max(t or entry.average_bits(model_key), 2.4) for t in targets]
+        stacked = synthesize_degree_aware_bits_batch(degrees, resolved)
+        # The scalar path synthesizes bits0 and bits1 independently (the
+        # function is deterministic, so they are equal-valued); hand out
+        # distinct arrays the same way.
+        rows0 = list(stacked)
+        rows1 = [row.copy() for row in stacked]
+        weight_bits = 4
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+
+    workloads = []
+    for bits0, bits1 in zip(rows0, rows1):
+        layers = [
+            LayerSpec(feature_dim, hidden, input_nnz, bits0,
+                      weight_bits=weight_bits),
+            LayerSpec(hidden, entry.num_classes, hidden_nnz, bits1,
+                      weight_bits=weight_bits),
+        ]
+        workloads.append(Workload(
+            name=f"{entry.name}-{model_key}-{precision}",
+            model_name=model_key,
+            dataset=entry.name,
+            adjacency=adjacency,
+            layers=layers,
+            precision=precision,
+            metadata={"feature_dim": feature_dim, "hidden": hidden},
+        ))
+    return workloads
 
 
 def workload_from_quant_run(graph: Graph, model_name: str, node_bitwidths: np.ndarray,

@@ -1,0 +1,91 @@
+"""repro.xp — the single place the array backend is chosen.
+
+Every array-heavy module in the simulation core (``repro.sim``,
+``repro.mega.performance``, ``repro.baselines``, ``repro.formats``)
+imports its array namespace from here instead of importing numpy
+directly::
+
+    from repro.xp import np
+
+``np`` is a module object: numpy by default, or an API-compatible
+substitute selected once at import time via ``REPRO_ARRAY_BACKEND``:
+
+- ``numpy`` (default) — the only backend guaranteed to be installed.
+- ``cupy`` — GPU arrays, used only if importable; otherwise a warning
+  is emitted once and numpy is used.
+- ``jax`` — ``jax.numpy``, same fallback rule.
+
+The non-numpy backends are *optional extras*: nothing in this repo
+depends on them and the container image does not ship them.  The value
+of the shim today is architectural — all array ops flow through one
+import site, so slotting a GPU backend in later is a one-module change
+rather than another sweep across the sim core.  ``backend_name``
+reports what was actually selected (after any fallback), and
+``asnumpy`` converts backend arrays to host numpy arrays for code that
+must hand results to scipy/json.
+
+Bit-identity note: the batched simulation path (``repro.sim.batched``)
+promises bit-identical results to the scalar oracle *under the numpy
+backend*.  Alternate backends may differ in float reduction order and
+are opted into explicitly by the user via the env knob.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+_REQUESTED = (os.environ.get("REPRO_ARRAY_BACKEND") or "numpy").strip().lower()
+
+_ALIASES = {"": "numpy", "np": "numpy", "numpy": "numpy", "cupy": "cupy", "jax": "jax"}
+
+
+def _load_backend(name: str):
+    """Return (module, resolved_name) for *name*, falling back to numpy."""
+    import numpy
+
+    resolved = _ALIASES.get(name)
+    if resolved is None:
+        warnings.warn(
+            f"REPRO_ARRAY_BACKEND={name!r} is not recognised "
+            "(expected numpy, cupy, or jax); using numpy",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return numpy, "numpy"
+    if resolved == "numpy":
+        return numpy, "numpy"
+    try:
+        if resolved == "cupy":
+            import cupy  # type: ignore[import-not-found]
+
+            return cupy, "cupy"
+        import jax.numpy as jnp  # type: ignore[import-not-found]
+
+        return jnp, "jax"
+    except ImportError:
+        warnings.warn(
+            f"REPRO_ARRAY_BACKEND={resolved!r} requested but the package is "
+            "not installed; falling back to numpy",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return numpy, "numpy"
+
+
+np, backend_name = _load_backend(_REQUESTED)
+
+
+def asnumpy(array):
+    """Return *array* as a host numpy ndarray regardless of backend."""
+    import numpy
+
+    if isinstance(array, numpy.ndarray):
+        return array
+    get = getattr(array, "get", None)  # cupy device arrays
+    if callable(get):
+        return numpy.asarray(get())
+    return numpy.asarray(array)
+
+
+__all__ = ["np", "backend_name", "asnumpy"]

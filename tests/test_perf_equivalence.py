@@ -302,9 +302,15 @@ class TestTimersAndBench:
         assert art["verifies_per_s"] > 0
         assert art["replay"]["executed_warm_jobs"] == 0
         assert art["replay"]["executed_cold_jobs"] == art["replay"]["jobs"]
+        batched = report["batched_sweep"]
+        assert batched["identical"] is True
+        assert batched["executed_warm_jobs"] == 0
+        assert batched["executed_cold_jobs"] == batched["jobs"]
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
-        assert json.loads(path.read_text())["schema"] == "repro.perf.bench/v6"
+        round_trip = json.loads(path.read_text())
+        assert round_trip["schema"] == "repro.perf.bench/v7"
+        assert round_trip["schema_version"] == round_trip["schema"]
 
     def test_bench_rejects_unknown_size(self):
         with pytest.raises(ValueError):
