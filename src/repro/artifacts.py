@@ -48,10 +48,24 @@ once, Stage B consumes it many times):
   *before* publishing anything — so a warm corpus can ship to a worker
   fleet and be trusted on arrival.
 
+- **Sharded layout with transparent migration.**  New entries publish
+  into per-prefix shard directories (``objects/ab/art_ab12…``), keeping
+  directory fan-out bounded as corpora pass ~10⁵ entries.  Reads
+  resolve through *both* layouts (sharded first, then the legacy flat
+  ``objects/art_…``), so a store written by an older process keeps
+  working untouched; :meth:`ArtifactStore.migrate` upgrades a flat
+  store in place, one atomic :func:`os.rename` per entry — crash-safe
+  (a SIGKILL mid-migration leaves every entry readable in exactly one
+  location) and resumable (re-running continues where it stopped).
+  :meth:`ArtifactStore.verify` reports per-shard counts and flags any
+  id reachable in both layouts, the invariant a torn non-atomic
+  migration would break.
+
 Layout under ``<REPRO_CACHE_DIR>/artifacts/v1/``::
 
-    objects/art_<hex16>/manifest.json     # canonical inputs + payload digest
-    objects/art_<hex16>/payload.bin       # pickled value
+    objects/ab/art_ab12…/manifest.json    # canonical inputs + payload digest
+    objects/ab/art_ab12…/payload.bin      # pickled value
+    objects/art_<hex16>/                  # legacy flat entries (pre-migrate)
     tmp/<id>.<pid>.<token>/               # in-progress writes (droppable)
     quarantine/<id>.<token>/              # corrupt entries + reason.json
     pins.txt                              # one pinned id per line
@@ -64,7 +78,10 @@ Environment knobs:
   re-hash (``verify`` still checks everything; default ``1``);
 - ``REPRO_ARTIFACTS_SPILL_BYTES`` — size at which
   :class:`~repro.perf.cache.DiskCache` entries spill into this store
-  (default 262144).
+  (default 262144);
+- ``REPRO_ARTIFACTS_SHARD`` — ``0`` publishes new entries into the
+  legacy flat layout instead of shard directories (default ``1``;
+  reads always understand both).
 """
 
 from __future__ import annotations
@@ -91,6 +108,7 @@ __all__ = [
     "artifact_store",
     "derive_artifact_id",
     "canonical_inputs",
+    "shard_of",
 ]
 
 T = TypeVar("T")
@@ -125,6 +143,21 @@ def _verify_reads() -> bool:
     from .envutil import env_int
 
     return env_int("REPRO_ARTIFACTS_VERIFY_READS", 1) != 0
+
+
+def _shard_writes() -> bool:
+    from .envutil import env_int
+
+    return env_int("REPRO_ARTIFACTS_SHARD", 1) != 0
+
+
+def shard_of(art_id: str) -> str:
+    """The two-hex shard directory name an id belongs to."""
+    return art_id[len(_ID_PREFIX):len(_ID_PREFIX) + 2]
+
+
+def _is_shard_name(name: str) -> bool:
+    return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
 
 
 # Module-level write-path helpers: the crash-injection tests monkeypatch
@@ -254,8 +287,28 @@ class ArtifactStore:
         self._warned_readonly = False
 
     # -- paths -------------------------------------------------------------
-    def entry_dir(self, art_id: str) -> Path:
+    def _sharded_dir(self, art_id: str) -> Path:
+        return self.objects / shard_of(art_id) / art_id
+
+    def _flat_dir(self, art_id: str) -> Path:
         return self.objects / art_id
+
+    def entry_dir(self, art_id: str) -> Path:
+        """Resolve an id to its on-disk entry directory.
+
+        An *existing* entry wins wherever it lives — sharded first, then
+        the legacy flat layout — so stores keep working mid-migration
+        and across processes with different ``REPRO_ARTIFACTS_SHARD``
+        settings.  An id with no entry resolves to the write target for
+        the current layout setting.
+        """
+        sharded = self._sharded_dir(art_id)
+        if sharded.is_dir():
+            return sharded
+        flat = self._flat_dir(art_id)
+        if flat.is_dir():
+            return flat
+        return sharded if _shard_writes() else flat
 
     def manifest_path(self, art_id: str) -> Path:
         return self.entry_dir(art_id) / "manifest.json"
@@ -326,8 +379,8 @@ class ArtifactStore:
                 # temp entry durable but before publication — leave the
                 # droppable garbage for verify/gc to sweep.
                 return False
-            self.objects.mkdir(parents=True, exist_ok=True)
             target = self.entry_dir(art_id)
+            target.parent.mkdir(parents=True, exist_ok=True)
             try:
                 _publish(tmpdir, target)
             except OSError as exc:
@@ -338,7 +391,7 @@ class ArtifactStore:
                     shutil.rmtree(tmpdir, ignore_errors=True)
                     return True
                 raise
-            _fsync_dir(self.objects)
+            _fsync_dir(target.parent)
             self.puts += 1
             if injector is not None:
                 injector.on_artifact_published(target / "payload.bin", art_id)
@@ -362,10 +415,16 @@ class ArtifactStore:
     # -- reads -------------------------------------------------------------
     def read_manifest(self, art_id: str) -> Dict:
         """Parse and structurally validate one entry's manifest."""
-        raw = self.manifest_path(art_id).read_bytes()
+        return self._parse_manifest(art_id,
+                                    self.manifest_path(art_id).read_bytes())
+
+    @staticmethod
+    def _parse_manifest(art_id: str, raw: bytes) -> Dict:
+        """Validate raw manifest bytes (shared with remote fetch, which
+        must distrust everything it downloads)."""
         try:
             manifest = json.loads(raw)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ArtifactIntegrityError(
                 f"{art_id}: manifest is not valid JSON ({exc})") from None
         if not isinstance(manifest, dict):
@@ -383,19 +442,24 @@ class ArtifactStore:
                     f"{art_id}: manifest field {field!r} missing or empty")
         return manifest
 
+    @staticmethod
+    def _check_payload(art_id: str, manifest: Dict, payload: bytes) -> None:
+        """Raise unless ``payload`` matches the manifest's size + sha256."""
+        if len(payload) != manifest.get("payload_bytes"):
+            raise ArtifactIntegrityError(
+                f"{art_id}: payload is {len(payload)} bytes, manifest "
+                f"promises {manifest.get('payload_bytes')}")
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != manifest["payload_sha256"]:
+            raise ArtifactIntegrityError(
+                f"{art_id}: payload sha256 {digest[:12]}… does not match "
+                f"manifest {manifest['payload_sha256'][:12]}…")
+
     def _checked_payload(self, art_id: str, manifest: Dict,
                          verify: bool = True) -> bytes:
         payload = self.payload_path(art_id).read_bytes()
         if verify:
-            if len(payload) != manifest.get("payload_bytes"):
-                raise ArtifactIntegrityError(
-                    f"{art_id}: payload is {len(payload)} bytes, manifest "
-                    f"promises {manifest.get('payload_bytes')}")
-            digest = hashlib.sha256(payload).hexdigest()
-            if digest != manifest["payload_sha256"]:
-                raise ArtifactIntegrityError(
-                    f"{art_id}: payload sha256 {digest[:12]}… does not match "
-                    f"manifest {manifest['payload_sha256'][:12]}…")
+            self._check_payload(art_id, manifest, payload)
         return payload
 
     def get(self, art_id: str, default: Optional[T] = None) -> Optional[T]:
@@ -449,8 +513,15 @@ class ArtifactStore:
         return self.manifest_path(art_id).is_file()
 
     # -- quarantine --------------------------------------------------------
-    def _quarantine(self, art_id: str, reason: str) -> Optional[Path]:
-        """Move a corrupt entry aside with a reason record."""
+    def _quarantine(self, art_id: str, reason: str,
+                    path: Optional[Path] = None) -> Optional[Path]:
+        """Move a corrupt entry aside with a reason record.
+
+        ``path`` pins the on-disk location when the caller already knows
+        it (e.g. an invalidly-named directory :meth:`verify` walked
+        over, which id-based resolution cannot find); by default the
+        entry resolves through :meth:`entry_dir`.
+        """
         self.quarantined += 1
         if not self._warned_quarantine:
             self._warned_quarantine = True
@@ -463,7 +534,8 @@ class ArtifactStore:
         dest = self.quarantine_root / f"{art_id}.{_new_token()}"
         try:
             self.quarantine_root.mkdir(parents=True, exist_ok=True)
-            os.rename(self.entry_dir(art_id), dest)
+            os.rename(path if path is not None else self.entry_dir(art_id),
+                      dest)
             _write_manifest(dest / "reason.json", {
                 "id": art_id, "reason": reason, "at": time.time()})
             return dest
@@ -490,49 +562,162 @@ class ArtifactStore:
         return records
 
     # -- verification ------------------------------------------------------
+    def _iter_entries(self):
+        """Yield ``(name, path, shard)`` for every entry directory in
+        either layout; ``shard`` is the two-hex shard name or ``"flat"``
+        for legacy root-level entries.  Names are not validated here —
+        :meth:`verify` quarantines the invalid ones."""
+        try:
+            roots = sorted(self.objects.iterdir())
+        except OSError:
+            return
+        for entry in roots:
+            if not entry.is_dir():
+                continue
+            if _is_shard_name(entry.name):
+                try:
+                    children = sorted(entry.iterdir())
+                except OSError:
+                    continue
+                for child in children:
+                    if child.is_dir():
+                        yield child.name, child, entry.name
+            else:
+                yield entry.name, entry, "flat"
+
     def verify(self, sweep_tmp: bool = True) -> Dict:
         """Re-hash every payload against its manifest; quarantine what
         fails; optionally sweep dead in-progress temp directories.
 
         Returns ``{"checked", "ok", "quarantined": [{id, reason}],
-        "swept_tmp", "quarantine_entries"}``.
+        "swept_tmp", "quarantine_entries", "shards": {shard: count},
+        "dual_layout": [ids]}``.  ``shards`` counts entries per shard
+        directory (``"flat"`` groups legacy root-level entries);
+        ``dual_layout`` lists ids still reachable in *both* layouts
+        after this pass — the invariant only a non-atomic migration
+        (or a hand-copied store) can break, since :meth:`migrate` moves
+        entries with single renames.
         """
         checked = ok = 0
         newly_quarantined: List[Dict] = []
-        try:
-            entries = sorted(self.objects.iterdir())
-        except OSError:
-            entries = []
-        for entry in entries:
-            if not entry.is_dir():
-                continue
+        shards: Dict[str, int] = {}
+        seen_flat: Set[str] = set()
+        seen_sharded: Set[str] = set()
+        quarantined_paths: Set[Tuple[str, str]] = set()
+        for name, path, shard in self._iter_entries():
             checked += 1
-            art_id = entry.name
+            shards[shard] = shards.get(shard, 0) + 1
+            (seen_flat if shard == "flat" else seen_sharded).add(name)
             try:
-                if not _valid_id(art_id):
+                if not _valid_id(name):
                     raise ArtifactIntegrityError(
-                        f"{art_id}: not a valid artifact id")
-                manifest = self.read_manifest(art_id)
-                self._checked_payload(art_id, manifest, verify=True)
+                        f"{name}: not a valid artifact id")
+                if shard not in ("flat", shard_of(name)):
+                    raise ArtifactIntegrityError(
+                        f"{name}: filed under shard {shard!r}, belongs in "
+                        f"{shard_of(name)!r}")
+                manifest = self._parse_manifest(
+                    name, (path / "manifest.json").read_bytes())
+                self._check_payload(name, manifest,
+                                    (path / "payload.bin").read_bytes())
                 # The id itself must re-derive from the manifest inputs:
                 # a tampered manifest with a self-consistent payload hash
                 # would otherwise pass.
                 expected = derive_artifact_id(manifest["kind"],
                                               manifest.get("inputs", {}),
                                               producer=manifest.get("producer"))
-                if expected != art_id:
+                if expected != name:
                     raise ArtifactIntegrityError(
-                        f"{art_id}: id does not re-derive from manifest "
+                        f"{name}: id does not re-derive from manifest "
                         f"inputs (expected {expected})")
                 ok += 1
             except (ArtifactIntegrityError, OSError, KeyError) as exc:
                 reason = str(exc) or type(exc).__name__
-                self._quarantine(art_id, reason)
-                newly_quarantined.append({"id": art_id, "reason": reason})
+                self._quarantine(name, reason, path=path)
+                quarantined_paths.add((name, shard))
+                newly_quarantined.append({"id": name, "reason": reason})
+        # A copy quarantined this pass no longer counts toward the
+        # dual-layout invariant — moving it aside *resolved* the clash.
+        for name, shard in quarantined_paths:
+            (seen_flat if shard == "flat" else seen_sharded).discard(name)
         swept = self._sweep_tmp() if sweep_tmp else 0
         return {"checked": checked, "ok": ok,
                 "quarantined": newly_quarantined, "swept_tmp": swept,
-                "quarantine_entries": len(self.quarantine_entries())}
+                "quarantine_entries": len(self.quarantine_entries()),
+                "shards": shards,
+                "dual_layout": sorted(seen_flat & seen_sharded)}
+
+    # -- migration ---------------------------------------------------------
+    def migrate(self) -> Dict:
+        """Upgrade a flat store to the sharded layout, in place.
+
+        Each legacy root-level entry moves into its shard directory via
+        one atomic :func:`os.rename` — the same primitive the publish
+        protocol uses — so a SIGKILL at any instant leaves every entry
+        complete and readable in exactly one location, and re-running
+        resumes with whatever is still flat.  An id that already has a
+        sharded copy (a concurrent writer published it, or an earlier
+        interrupted pass) keeps the sharded copy reads already prefer;
+        the flat duplicate is redundant by content address and removed.
+
+        Returns ``{"moved", "deduped", "failed": [{id, error}],
+        "remaining_flat", "shards"}``.
+        """
+        from . import faults
+
+        injector = faults.active_injector()
+        moved = deduped = 0
+        failed: List[Dict] = []
+        try:
+            entries = sorted(self.objects.iterdir())
+        except OSError:
+            entries = []
+        touched: Set[Path] = set()
+        for entry in entries:
+            if not entry.is_dir() or _is_shard_name(entry.name):
+                continue
+            art_id = entry.name
+            if not _valid_id(art_id):
+                failed.append({"id": art_id,
+                               "error": "not a valid artifact id (left for "
+                                        "verify to quarantine)"})
+                continue
+            if injector is not None and injector.on_artifact_publishing(
+                    f"migrate|{art_id}"):
+                # torn_rename fault: "crashed" before this entry's move —
+                # it stays flat (still readable) for the next pass.
+                failed.append({"id": art_id, "error": "injected torn rename"})
+                continue
+            target = self._sharded_dir(art_id)
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                _publish(entry, target)
+            except OSError as exc:
+                if exc.errno in (errno.EEXIST, errno.ENOTEMPTY, errno.EISDIR):
+                    shutil.rmtree(entry, ignore_errors=True)
+                    deduped += 1
+                else:
+                    failed.append({"id": art_id, "error": str(exc)})
+                    continue
+            else:
+                moved += 1
+            touched.add(target.parent)
+        for shard_dir in touched:
+            _fsync_dir(shard_dir)
+        _fsync_dir(self.objects)
+        remaining = shard_count = 0
+        try:
+            for entry in self.objects.iterdir():
+                if not entry.is_dir():
+                    continue
+                if _is_shard_name(entry.name):
+                    shard_count += 1
+                else:
+                    remaining += 1
+        except OSError:
+            pass
+        return {"moved": moved, "deduped": deduped, "failed": failed,
+                "remaining_flat": remaining, "shards": shard_count}
 
     def _sweep_tmp(self, max_age_s: float = 3600.0) -> int:
         """Remove in-progress temp dirs whose writer died (pid gone) or
@@ -568,11 +753,8 @@ class ArtifactStore:
 
     # -- listing -----------------------------------------------------------
     def ids(self) -> List[str]:
-        try:
-            return sorted(p.name for p in self.objects.iterdir()
-                          if p.is_dir())
-        except OSError:
-            return []
+        """Every entry name across both layouts (dual-layout ids once)."""
+        return sorted({name for name, _path, _shard in self._iter_entries()})
 
     def list_entries(self) -> List[Dict]:
         """Manifest summaries of every entry (unreadable ones flagged)."""
@@ -666,7 +848,7 @@ class ArtifactStore:
                     continue
             removed.append(art_id)
             if apply:
-                shutil.rmtree(self.entry_dir(art_id), ignore_errors=True)
+                self._remove_entry(art_id)
         quarantine_removed: List[str] = []
         try:
             quarantine_entries = sorted(self.quarantine_root.iterdir())
@@ -681,6 +863,13 @@ class ArtifactStore:
                 "kept_young": kept_young,
                 "quarantine_removed": quarantine_removed,
                 "swept_tmp": swept_tmp, "dry_run": not apply}
+
+    def _remove_entry(self, art_id: str) -> None:
+        """Delete an entry wherever it lives (both layouts, so a gc of a
+        dual-layout id cannot leave a stale flat copy behind)."""
+        for path in (self._sharded_dir(art_id), self._flat_dir(art_id)):
+            if path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
 
     # -- export / import ---------------------------------------------------
     @staticmethod
@@ -911,6 +1100,17 @@ class ArtifactStore:
                 size_bytes += self.payload_path(art_id).stat().st_size
             except OSError:
                 pass
+        shard_dirs = flat_objects = 0
+        try:
+            for entry in self.objects.iterdir():
+                if not entry.is_dir():
+                    continue
+                if _is_shard_name(entry.name):
+                    shard_dirs += 1
+                else:
+                    flat_objects += 1
+        except OSError:
+            pass
         try:
             tmp_entries = sum(1 for _ in self.tmp.iterdir())
         except OSError:
@@ -921,6 +1121,7 @@ class ArtifactStore:
         except OSError:
             quarantine_entries = 0
         return {"objects": objects, "size_bytes": size_bytes,
+                "shards": shard_dirs, "flat_objects": flat_objects,
                 "tmp_entries": tmp_entries,
                 "quarantine_entries": quarantine_entries,
                 "puts": self.puts, "gets": self.gets,

@@ -440,7 +440,7 @@ class SweepEngine:
                  use_disk: bool = True, retries: Optional[int] = None,
                  timeout: Optional[float] = None,
                  backoff: Optional[float] = None, journal=None,
-                 batch: Optional[bool] = None) -> None:
+                 batch: Optional[bool] = None, remote=None) -> None:
         self.workers = _env_workers() if workers is None else max(int(workers), 0)
         self.reports = ContentCache("job_results")
         self.tables = ContentCache("tables")
@@ -458,6 +458,18 @@ class SweepEngine:
             DiskCache("sweep", directory=cache_dir, namespace=code_version(),
                       spill_store=self.artifacts)
             if use_disk else None)
+        # Optional remote read-through tier (memory → disk → remote →
+        # execute): when REPRO_REMOTE_URL names a `repro serve` daemon,
+        # fresh machines pull verified artifacts instead of executing.
+        # An explicit `remote=` wins; the tier needs the local artifact
+        # store to publish verified downloads into.
+        if remote is not None:
+            self.remote = remote
+        elif self.artifacts is not None:
+            from ..remote import remote_store_from_env
+            self.remote = remote_store_from_env(self.artifacts)
+        else:
+            self.remote = None
         # Artifact ids this engine resolved or produced (id -> kind),
         # surfaced in experiment metadata for provenance and GC liveness.
         self.consumed_artifacts: Dict[str, str] = {}
@@ -628,6 +640,12 @@ class SweepEngine:
                     self.consumed_artifacts[art_id] = self._job_kind(job)
                     results[job] = self.reports.put(job, cached)
                     continue
+                if self.remote is not None:
+                    fetched = self.remote.fetch(art_id, sentinel)
+                    if fetched is not sentinel:
+                        self.consumed_artifacts[art_id] = self._job_kind(job)
+                        results[job] = self.reports.put(job, fetched)
+                        continue
             pending.append(job)
 
         if pending:
@@ -812,6 +830,8 @@ class SweepEngine:
             out["disk"] = self.disk.stats()
         if self.artifacts is not None:
             out["artifacts"] = self.artifacts.stats()
+        if self.remote is not None:
+            out["remote"] = self.remote.stats()
         return out
 
 

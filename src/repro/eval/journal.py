@@ -199,18 +199,59 @@ class RunJournal:
         return None
 
 
+# Per-journal referenced-id sets, keyed by path and validated against
+# (mtime_ns, size) — journals are append-only, so an unchanged stat means
+# an unchanged id set and repeated gc invocations skip the re-parse.
+# Torn journals cache an empty set under the same stamp, so the warning
+# fires once per torn state, not once per gc.
+_REF_CACHE: Dict[Path, tuple] = {}
+
+
+def _journal_artifact_ids(run_id: str, path: Path,
+                          directory: Optional[os.PathLike]) -> Set[str]:
+    try:
+        stat = path.stat()
+    except OSError:
+        return set()
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _REF_CACHE.get(path)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        ids = frozenset(
+            RunJournal.load(run_id, directory=directory).artifact_ids())
+    except OSError:
+        return set()
+    except ValueError as exc:
+        # A torn journal must not abort the mark phase: its run's
+        # artifacts fall back to pin/keep_days protection.
+        warnings.warn(
+            f"skipping torn run journal {path} during artifact mark "
+            f"({exc}); its artifacts are only protected by pins or "
+            f"keep_days until the journal is repaired or pruned",
+            RuntimeWarning, stacklevel=4)
+        ids = frozenset()
+    _REF_CACHE[path] = (stamp, ids)
+    return set(ids)
+
+
 def referenced_artifacts(
         directory: Optional[os.PathLike] = None) -> Set[str]:
     """Artifact ids referenced by *any* journaled run under the cache
     directory — the mark set for :meth:`repro.artifacts.ArtifactStore.gc`.
-    Unreadable journals contribute nothing (their runs' artifacts are
-    then only protected by pins or ``keep_days``)."""
+
+    Per-journal id sets are cached keyed by the journal's
+    ``(mtime_ns, size)``, so repeated invocations (long-lived daemons,
+    back-to-back ``repro artifacts gc``) only re-parse journals that
+    actually changed.  Torn journals are skipped with a warning instead
+    of aborting the mark phase; unreadable journals contribute nothing
+    (their runs' artifacts are then only protected by pins or
+    ``keep_days``)."""
     live: Set[str] = set()
+    root = runs_dir(directory)
     for run_id in list_runs(directory):
-        try:
-            live |= RunJournal.load(run_id, directory=directory).artifact_ids()
-        except (OSError, ValueError):
-            continue
+        live |= _journal_artifact_ids(run_id, root / run_id / "journal.jsonl",
+                                      directory)
     return live
 
 

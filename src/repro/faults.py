@@ -43,6 +43,19 @@ Fault kinds:
   job faults, they fire only on a request's first attempt (clients send
   their retry ordinal in ``X-Repro-Attempt``), so bounded client
   retries always converge.
+- ``net_truncate`` / ``net_corrupt`` / ``net_503`` / ``net_stall`` —
+  hostile-network faults on the artifact-distribution path
+  (:mod:`repro.serve`'s ``GET /artifacts/…`` and
+  :mod:`repro.remote`'s verified fetch): the response body cut short
+  mid-transfer (the client must resume via Range), a payload byte
+  flipped in flight (the client's manifest re-hash must reject it), an
+  HTTP 503, and a stall injected before the response (long enough to
+  trip a short client socket timeout).  Wired into *both* ends —
+  the server decides per response via :meth:`FaultInjector.on_transfer`
+  and the remote fetcher additionally mangles received bytes under the
+  same kinds with a client-side token — and, like every request-path
+  fault, they fire only on a transfer's first attempt so bounded
+  retries converge on the verified bytes.
 
 Activation is either environment-based — ``REPRO_FAULTS="kill=0.2,
 corrupt_cache=1.0:1"`` plus ``REPRO_FAULTS_SEED`` — which forked pool
@@ -74,7 +87,13 @@ __all__ = [
 
 FAULT_KINDS = ("kill", "hang", "raise", "corrupt_cache", "cache_readonly",
                "corrupt_artifact", "torn_rename",
-               "serve_drop", "serve_delay", "serve_reject")
+               "serve_drop", "serve_delay", "serve_reject",
+               "net_truncate", "net_corrupt", "net_503", "net_stall")
+
+# How long a net_stall fault holds a response: long enough that a
+# deliberately short client timeout (tests use ~50 ms) trips, short
+# enough not to drag the suite.
+NET_STALL_S = 0.25
 
 ENV_SPEC = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULTS_SEED"
@@ -230,6 +249,29 @@ class FaultInjector:
         for kind, action in (("serve_drop", "drop"),
                              ("serve_reject", "reject"),
                              ("serve_delay", "delay")):
+            if self.should_fire(kind, token):
+                return action
+        return None
+
+    def on_transfer(self, token: str, attempt: int = 0) -> Optional[str]:
+        """Hostile-network decision for one artifact transfer.
+
+        Returns ``"truncate"`` (cut the body short mid-transfer),
+        ``"corrupt"`` (flip a payload byte in flight), ``"503"``
+        (reject with Retry-After) or ``"stall"`` (hold the response for
+        :data:`NET_STALL_S`) — or ``None`` for a clean transfer.  Both
+        ends consult this: the server with a ``net|<id>`` token on its
+        response path, the remote fetcher with a ``recv|<id>`` token on
+        the bytes it just received — distinct tokens, so a plan can hit
+        either side independently.  Fires only on a transfer's first
+        attempt; at most one action per transfer, in the order above.
+        """
+        if attempt != 0:
+            return None
+        for kind, action in (("net_truncate", "truncate"),
+                             ("net_corrupt", "corrupt"),
+                             ("net_503", "503"),
+                             ("net_stall", "stall")):
             if self.should_fire(kind, token):
                 return action
         return None

@@ -940,6 +940,125 @@ def _bench_artifact_store(quick: bool, check: bool = True) -> dict:
     }
 
 
+def _bench_fleet_replay(quick: bool, check: bool = True) -> dict:
+    """Fleet distribution end to end: a fresh-cache worker replays a
+    served corpus over a hostile network.
+
+    Three phases: a local engine warms a corpus (cold timing baseline);
+    a ``repro serve`` daemon on that warm cache — with wire faults
+    injected daemon-side (``net_corrupt=0.3,net_503=0.2``) — serves it
+    to a fresh-cache in-process worker whose engine resolves through
+    the remote tier (must execute zero jobs and stay bit-identical);
+    then a forced-chaos pass (client-side ``net_corrupt=1.0``) pulls
+    the corpus into a third fresh cache, proving every damaged transfer
+    is rejected before publish and the bounded retry converges.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..client import ServeClient
+    from ..eval.engine import SimJob, SweepEngine, temporary_cache_dir
+    from ..faults import inject_faults
+    from ..remote import RemoteStore
+
+    pairs = (("cora", "gcn"),) if quick else (("cora", "gcn"),
+                                              ("citeseer", "gcn"))
+    names = ("hygcn", "mega") if quick else ("hygcn", "mega", "gcnax")
+    jobs = [SimJob.from_call(name, dataset, model)
+            for dataset, model in pairs for name in names]
+    fault_env = {"REPRO_FAULTS": "net_corrupt=0.3,net_503=0.2",
+                 "REPRO_FAULTS_SEED": "0"}
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        server_cache = Path(tmp) / "server-cache"
+        with temporary_cache_dir(Path(tmp) / "env-a"):
+            clear_all_caches()
+            warm_engine = SweepEngine(workers=0, cache_dir=server_cache)
+            warm_engine.clear_memory()
+            with Timer() as cold:
+                cold_reports = warm_engine.run(jobs)
+            executed_cold = warm_engine.executed_jobs
+            corpus_ids = [warm_engine.job_artifact_id(j) for j in jobs]
+
+        daemon = _ServeDaemon(server_cache, extra_env=fault_env)
+        try:
+            # Fleet replay: a fresh-cache worker resolves every job
+            # through memory -> disk -> remote, executing nothing.
+            with temporary_cache_dir(Path(tmp) / "env-b"):
+                clear_all_caches()
+                worker = SweepEngine(workers=0,
+                                     cache_dir=Path(tmp) / "cache-b")
+                worker.remote = RemoteStore(url=daemon.url,
+                                            store=worker.artifacts,
+                                            backoff=0.05)
+                worker.clear_memory()
+                with Timer() as fleet:
+                    fleet_reports = worker.run(jobs)
+                executed_fleet = worker.executed_jobs
+                remote_stats = worker.remote.stats()
+                worker_verify = worker.artifacts.verify()
+
+            # Forced chaos: every first transfer is damaged client-side;
+            # every fetch must reject the bytes and converge on retry.
+            chaos_store_dir = Path(tmp) / "cache-c"
+            with inject_faults("net_corrupt=1.0", seed=0):
+                from ..artifacts import ArtifactStore
+
+                chaos_local = ArtifactStore(directory=chaos_store_dir)
+                chaos = RemoteStore(url=daemon.url, store=chaos_local,
+                                    backoff=0.05)
+                with Timer() as chaos_t:
+                    chaos_values = [chaos.fetch(i) for i in corpus_ids]
+            chaos_verify = chaos_local.verify()
+            server_stats = ServeClient(daemon.url).stats()["counters"]
+        finally:
+            drain_exit = daemon.stop()
+
+        identical = all(fleet_reports[j] == cold_reports[j] for j in jobs)
+        if check:
+            assert executed_fleet == 0, \
+                f"fleet replay must execute 0 jobs ({executed_fleet})"
+            assert identical, \
+                "fleet replay must be bit-identical to local execution"
+            assert worker_verify["quarantined"] == [], worker_verify
+            assert worker_verify["dual_layout"] == [], worker_verify
+            assert all(v is not None for v in chaos_values), \
+                "forced chaos must converge on every fetch"
+            assert chaos.rejected >= len(corpus_ids), \
+                f"every first transfer was damaged; all must be rejected " \
+                f"before publish ({chaos.rejected})"
+            assert chaos_verify["quarantined"] == [], \
+                "no damaged payload may ever publish"
+            assert drain_exit == 0, f"drain exit code {drain_exit}"
+    clear_all_caches()
+
+    return {
+        "jobs": len(jobs),
+        "faults": fault_env["REPRO_FAULTS"],
+        "cold_s": cold.elapsed,
+        "fleet_s": fleet.elapsed,
+        "fleet_speedup": _speedup(cold.elapsed, fleet.elapsed),
+        "executed_cold_jobs": executed_cold,
+        "executed_warm_jobs": executed_fleet,
+        "identical": identical,
+        "remote": remote_stats,
+        "rejected_transfers": remote_stats["rejected"] + chaos.rejected,
+        "resumed_transfers": remote_stats["resumed"] + chaos.resumed,
+        "net_faults": server_stats["net_faults"],
+        "served_artifact_hits": server_stats["artifact_hits"],
+        "served_artifact_bytes": server_stats["artifact_bytes"],
+        "chaos": {
+            "faults": "net_corrupt=1.0 (client-side)",
+            "fetches": len(corpus_ids),
+            "rejected": chaos.rejected,
+            "retries_used": chaos.retries_used,
+            "fetch_s": chaos_t.elapsed,
+            "quarantined": len(chaos_verify["quarantined"]),
+        },
+        "drain_exit_code": drain_exit,
+    }
+
+
 def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                    check: bool = True, seed: int = 0,
                    quick_sweep: Optional[bool] = None,
@@ -953,10 +1072,10 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
     if unknown:
         raise ValueError(f"unknown bench sizes: {sorted(unknown)}")
     report = {
-        "schema": "repro.perf.bench/v7",
+        "schema": "repro.perf.bench/v8",
         # Top-level mirror of ``schema`` for consumers that key on a
         # conventional field name; always equal to ``schema``.
-        "schema_version": "repro.perf.bench/v7",
+        "schema_version": "repro.perf.bench/v8",
         "machine": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -997,6 +1116,7 @@ def run_benchmarks(sizes: Optional[List[str]] = None, repeats: int = 3,
                                                      workers=sweep_workers)
     report["artifact_store"] = _bench_artifact_store(quick_sweep, check=check)
     report["serve_load"] = _bench_serve_load(quick_sweep, check=check)
+    report["fleet_replay"] = _bench_fleet_replay(quick_sweep, check=check)
     _assert_honesty_flags(report)
     return report
 
@@ -1014,6 +1134,8 @@ _HONESTY_FLAGS: Dict[str, tuple] = {
                        "executed_warm_train_jobs"),
     "batched_sweep": ("batch_used", "batch_sizes", "identical",
                       "executed_cold_jobs", "executed_warm_jobs"),
+    "fleet_replay": ("executed_cold_jobs", "executed_warm_jobs",
+                     "identical", "rejected_transfers", "net_faults"),
 }
 
 
@@ -1128,6 +1250,22 @@ def _print_summary(report: dict) -> None:
               f"{load['faulted']['injected']} faults injected)")
         print(f"  drain         exit {load['drain_exit_code']} / "
               f"{load['faulted_drain_exit_code']} (SIGTERM, graceful)")
+    fleet = report.get("fleet_replay")
+    if fleet:
+        print(f"\nfleet_replay: {fleet['jobs']} jobs pulled from a served "
+              f"store under {fleet['faults']}")
+        print(f"  cold local    {fleet['cold_s'] * 1e3:>9.1f}ms "
+              f"({fleet['executed_cold_jobs']} jobs executed)")
+        print(f"  fleet replay  {fleet['fleet_s'] * 1e3:>9.1f}ms "
+              f"({fleet['executed_warm_jobs']} jobs executed, "
+              f"{fleet['fleet_speedup']:.1f}x, bit-identical: "
+              f"{fleet['identical']})")
+        print(f"  chaos         {fleet['rejected_transfers']} transfers "
+              f"rejected / {fleet['resumed_transfers']} resumed, "
+              f"{fleet['net_faults']} wire faults injected, "
+              f"{fleet['chaos']['quarantined']} corrupt payloads published")
+        print(f"  drain         exit {fleet['drain_exit_code']} "
+              f"(SIGTERM, graceful)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -352,9 +352,11 @@ class DiskCache:
         self.corrupt_drops = 0
         self.write_failures = 0
         self.io_errors = 0
+        self.dangling_stubs = 0
         self._write_disabled = False
         self._warned_corrupt = False
         self._warned_readonly = False
+        self._warned_dangling = False
         self._pruned = not namespace
 
     def _path(self, key: str) -> Path:
@@ -422,7 +424,9 @@ class DiskCache:
 
         A stub whose artifact is gone (quarantined, GC'd, or this cache
         has no spill store) reads as a miss and the stub is dropped so
-        the recomputed value is stored fresh."""
+        the recomputed value is stored fresh — dangling stubs warn once
+        per store and are counted in ``stats()``, but never raise
+        mid-sweep."""
         if self.spill_store is not None and isinstance(art_id, str):
             sentinel = object()
             value = self.spill_store.get(art_id, sentinel)
@@ -430,6 +434,16 @@ class DiskCache:
                 self.hits += 1
                 return value
         self.misses += 1
+        self.dangling_stubs += 1
+        if not self._warned_dangling:
+            self._warned_dangling = True
+            warnings.warn(
+                f"disk cache {self.name!r} at {self.directory} hit a spill "
+                f"stub whose backing artifact {art_id!r} is gone "
+                f"(quarantined or GC'd); the stub was dropped and the value "
+                f"will be recomputed. Further dangling stubs from this "
+                f"store are counted in stats() but not re-warned.",
+                RuntimeWarning, stacklevel=5)
         try:
             path.unlink()
         except OSError:
@@ -524,8 +538,10 @@ class DiskCache:
         shutil.rmtree(self.directory, ignore_errors=True)
         self.hits = self.misses = self.stores = self.spills = 0
         self.corrupt_drops = self.write_failures = self.io_errors = 0
+        self.dangling_stubs = 0
         self._write_disabled = False
         self._warned_corrupt = self._warned_readonly = False
+        self._warned_dangling = False
 
     def stats(self) -> Dict[str, int]:
         entries = size_bytes = 0
@@ -542,4 +558,5 @@ class DiskCache:
                 "hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "corrupt_drops": self.corrupt_drops,
                 "write_failures": self.write_failures,
-                "io_errors": self.io_errors}
+                "io_errors": self.io_errors,
+                "dangling_stubs": self.dangling_stubs}

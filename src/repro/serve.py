@@ -38,13 +38,34 @@ Endpoints: ``GET /healthz`` (process liveness), ``GET /readyz``
 (recovery finished, not draining), ``GET /stats`` (queue depth,
 in-flight, dedup/reject/deadline counters, engine + cache stats),
 ``POST /run`` (``{"experiment": ..., "suite": ..., "params": {...},
-"deadline_s": ...}``).
+"deadline_s": ...}``), plus the artifact-distribution surface a worker
+fleet pulls warm results through (see :mod:`repro.remote` for the
+verified-fetch client):
+
+- ``GET /artifacts/<id>`` — the raw payload bytes, re-verified against
+  the manifest before a single byte leaves the store (a corrupt entry
+  is quarantined and answered 404, never served).  ``ETag`` carries
+  the payload's sha256; ``Range: bytes=<n>-`` resumes a cut-short
+  transfer (``If-Range`` guards against the entry changing between
+  chunks, which content addressing already forbids).
+- ``GET /artifacts/<id>/manifest`` — the canonical manifest JSON, from
+  which the fetcher re-derives the id before trusting anything.
+- ``GET /artifacts/index?have=<id,id,…>`` — delta negotiation: the ids
+  this store holds that the caller is missing, so a fleet worker pulls
+  only its delta.
+
+Artifact reads bypass the ``/run`` executor (they never touch the
+engine) but honor drain: a draining server answers 503 so clients fail
+over or retry elsewhere.
 
 Request-path fault injection (``serve_drop`` / ``serve_delay`` /
 ``serve_reject`` in ``REPRO_FAULTS``) applies at the top of ``POST
-/run`` handling; faults fire only when the client reports attempt 0
-in ``X-Repro-Attempt``, so :class:`repro.client.ServeClient`'s bounded
-retries always converge.
+/run`` handling, and the hostile-network kinds (``net_truncate`` /
+``net_corrupt`` / ``net_503`` / ``net_stall``) at the artifact
+response path — the body cut short, a byte flipped in flight, a 503,
+a stall.  Faults fire only when the client reports attempt 0 in
+``X-Repro-Attempt``, so :class:`repro.client.ServeClient`'s and
+:class:`repro.remote.RemoteStore`'s bounded retries always converge.
 
 :class:`ServerThread` runs the whole server inside the current process
 on a background thread — the harness the test-suite and the
@@ -137,6 +158,8 @@ class ReproServer:
             "requests": 0, "completed": 0, "deduped": 0, "rejected": 0,
             "failed": 0, "deadline_expired": 0, "faults": 0,
             "executed_runs": 0, "recovered_runs": 0, "recovery_failures": 0,
+            "artifact_requests": 0, "artifact_hits": 0,
+            "artifact_misses": 0, "artifact_bytes": 0, "net_faults": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -267,12 +290,29 @@ class ReproServer:
                  payload: Dict, extra_headers: Tuple[Tuple[str, str], ...] = ()
                  ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   429: "Too Many Requests", 500: "Internal Server Error",
-                   503: "Service Unavailable"}
+                   416: "Range Not Satisfiable", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
         data = json.dumps(payload, sort_keys=False).encode()
         head = [f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
                 "Content-Type: application/json",
                 f"Content-Length: {len(data)}",
+                "Connection: close"]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
+
+    def _respond_bytes(self, writer: asyncio.StreamWriter, status: int,
+                       data: bytes, declared_length: Optional[int] = None,
+                       extra_headers: Tuple[Tuple[str, str], ...] = ()
+                       ) -> None:
+        """Binary response.  ``declared_length`` may exceed ``len(data)``
+        — that is exactly how the ``net_truncate`` fault forges a
+        mid-transfer connection cut (the client sees a short body
+        against the promised Content-Length)."""
+        reasons = {200: "OK", 206: "Partial Content"}
+        length = len(data) if declared_length is None else declared_length
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
+                "Content-Type: application/octet-stream",
+                f"Content-Length: {length}",
                 "Connection: close"]
         head.extend(f"{name}: {value}" for name, value in extra_headers)
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)
@@ -287,7 +327,7 @@ class ReproServer:
     # -- routing -----------------------------------------------------------
     async def _route(self, method: str, path: str, headers: Dict[str, str],
                      body: bytes, writer: asyncio.StreamWriter) -> None:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if method == "GET" and path == "/healthz":
             self._respond(writer, 200, {"ok": True})
         elif method == "GET" and path == "/readyz":
@@ -300,6 +340,14 @@ class ReproServer:
                     extra_headers=(("Retry-After", "1"),))
         elif method == "GET" and path == "/stats":
             self._respond(writer, 200, self.stats())
+        elif method == "GET" and path == "/artifacts/index":
+            self._handle_artifact_index(query, writer)
+        elif method == "GET" and path.startswith("/artifacts/"):
+            self._open_requests += 1
+            try:
+                await self._handle_artifact(path, headers, writer)
+            finally:
+                self._open_requests -= 1
         elif method == "POST" and path == "/run":
             self._open_requests += 1
             try:
@@ -477,6 +525,156 @@ class ReproServer:
         except ValueError:
             attempt = 0
         return injector.on_request(key, attempt=attempt)
+
+    # -- GET /artifacts/* (fleet distribution) -----------------------------
+    def _handle_artifact_index(self, query: str,
+                               writer: asyncio.StreamWriter) -> None:
+        """Delta negotiation: the ids this store holds that the caller
+        does not (``have=`` a comma-separated id list)."""
+        from .artifacts import artifact_store
+        import urllib.parse
+
+        if self.draining:
+            self._respond(writer, 503, {"error": "draining"},
+                          extra_headers=(("Retry-After", "1"),))
+            return
+        have = set()
+        for value in urllib.parse.parse_qs(query).get("have", []):
+            have.update(i.strip() for i in value.split(",") if i.strip())
+        ids = artifact_store().ids()
+        missing = [i for i in ids if i not in have]
+        self._respond(writer, 200, {
+            "ids": missing, "total": len(ids),
+            "matched": len(ids) - len(missing)})
+
+    async def _handle_artifact(self, path: str, headers: Dict[str, str],
+                               writer: asyncio.StreamWriter) -> None:
+        """Serve one artifact's payload (or its manifest), verified
+        against the manifest before any byte leaves the store."""
+        from . import faults
+        from .artifacts import (ArtifactIntegrityError, _valid_id,
+                                artifact_store)
+
+        self.counters["artifact_requests"] += 1
+        parts = [p for p in path.split("/") if p]
+        art_id = parts[1] if len(parts) > 1 else ""
+        want_manifest = len(parts) == 3 and parts[2] == "manifest"
+        if len(parts) > 3 or (len(parts) == 3 and not want_manifest):
+            self._respond(writer, 404,
+                          {"error": f"no route for GET {path}"})
+            return
+        if not _valid_id(art_id):
+            self._respond(writer, 400,
+                          {"error": f"invalid artifact id {art_id!r}"})
+            return
+        if self.draining:
+            self._respond(writer, 503, {"error": "draining"},
+                          extra_headers=(("Retry-After", "1"),))
+            return
+        store = artifact_store()
+        try:
+            manifest = store.read_manifest(art_id)
+            payload = (None if want_manifest else
+                       store._checked_payload(art_id, manifest, verify=True))
+        except FileNotFoundError:
+            self.counters["artifact_misses"] += 1
+            self._respond(writer, 404, {"error": f"no artifact {art_id}"})
+            return
+        except (ArtifactIntegrityError, OSError) as exc:
+            # A corrupt entry is never served: quarantine it (so the
+            # owner rebuilds on next reference) and answer a miss.
+            self.counters["artifact_misses"] += 1
+            if isinstance(exc, ArtifactIntegrityError):
+                store._quarantine(art_id, str(exc))
+            self._respond(writer, 404,
+                          {"error": f"artifact {art_id} unavailable: {exc}"})
+            return
+
+        # Hostile-network fault injection applies *after* the verified
+        # load: the damage models the wire, never the store.
+        action = self._transfer_fault(art_id, headers)
+        if action == "503":
+            self.counters["faults"] += 1
+            self.counters["net_faults"] += 1
+            self._respond(writer, 503, {"error": "injected 503"},
+                          extra_headers=(("Retry-After", "1"),))
+            return
+        if action == "stall":
+            self.counters["faults"] += 1
+            self.counters["net_faults"] += 1
+            await asyncio.sleep(faults.NET_STALL_S)
+
+        etag = manifest["payload_sha256"]
+        if want_manifest:
+            self.counters["artifact_hits"] += 1
+            self._respond(writer, 200, manifest,
+                          extra_headers=(("ETag", f'"{etag}"'),))
+            return
+
+        total = len(payload)
+        status, start = 200, 0
+        extra = [("ETag", f'"{etag}"'), ("Accept-Ranges", "bytes"),
+                 ("X-Repro-Artifact-Id", art_id)]
+        range_header = headers.get("range", "")
+        if_range = headers.get("if-range", "").strip().strip('"')
+        if range_header and (not if_range or if_range == etag):
+            start = self._parse_range(range_header, total)
+            if start is None:
+                self._respond(writer, 416,
+                              {"error": f"unsatisfiable range "
+                                        f"{range_header!r}"},
+                              extra_headers=(("Content-Range",
+                                              f"bytes */{total}"),))
+                return
+            if start > 0:
+                status = 206
+                extra.append(("Content-Range",
+                              f"bytes {start}-{total - 1}/{total}"))
+        body = payload[start:]
+        declared = len(body)
+        if action == "corrupt" and body:
+            self.counters["faults"] += 1
+            self.counters["net_faults"] += 1
+            mid = len(body) // 2
+            body = body[:mid] + bytes([body[mid] ^ 0xFF]) + body[mid + 1:]
+        elif action == "truncate" and body:
+            self.counters["faults"] += 1
+            self.counters["net_faults"] += 1
+            body = body[:len(body) // 2]
+        self.counters["artifact_hits"] += 1
+        self.counters["artifact_bytes"] += len(body)
+        self._respond_bytes(writer, status, body, declared_length=declared,
+                            extra_headers=tuple(extra))
+
+    @staticmethod
+    def _parse_range(value: str, total: int) -> Optional[int]:
+        """Parse ``bytes=<start>-`` (the only form the fetcher sends);
+        returns the start offset, 0 for a form we don't support (full
+        response is always a valid answer), or None when the start is
+        past the end (416)."""
+        value = value.strip().lower()
+        if not value.startswith("bytes="):
+            return 0
+        spec = value[len("bytes="):].strip()
+        if not spec.endswith("-") or not spec[:-1].isdigit():
+            return 0
+        start = int(spec[:-1])
+        if start >= total > 0 or (total == 0 and start > 0):
+            return None
+        return start
+
+    def _transfer_fault(self, art_id: str,
+                        headers: Dict[str, str]) -> Optional[str]:
+        from .faults import active_injector
+
+        injector = active_injector()
+        if injector is None:
+            return None
+        try:
+            attempt = int(headers.get("x-repro-attempt", "0") or "0")
+        except ValueError:
+            attempt = 0
+        return injector.on_transfer(f"net|{art_id}", attempt=attempt)
 
     def _deadline_artifact(self, name: str, deadline_s: float,
                            key: str) -> Dict:

@@ -300,3 +300,63 @@ class TestResume:
         loaded = RunJournal.load(engine.journal.run_id,
                                  directory=tmp_path / "c")
         assert loaded.completed_experiments() == {"stall_table"}
+
+
+class TestFleetChaos:
+    """Tentpole acceptance: a fresh-cache worker replaying a served
+    corpus through a hostile network executes zero jobs, stays
+    bit-identical to local execution, and never publishes a corrupt
+    payload — every rejected transfer is retried (with backoff) or
+    degraded, never trusted."""
+
+    def test_fresh_worker_replays_through_hostile_network(self, tmp_path):
+        from repro.eval.engine import temporary_cache_dir
+        from repro.remote import RemoteStore
+        from repro.serve import ServeConfig, ServerThread
+
+        server_cache = tmp_path / "server-cache"
+        warm = SweepEngine(workers=0, cache_dir=server_cache)
+        baseline = _run(warm, "stall_table")
+        assert warm.executed_jobs > 0
+        assert warm.artifacts.stats()["objects"] > 0
+
+        spec = "net_truncate=0.4,net_corrupt=0.4,net_503=0.3,net_stall=0.2"
+        with temporary_cache_dir(server_cache):
+            with ServerThread(ServeConfig(port=0, quiet=True)) as handle:
+                with inject_faults(spec, seed=13):
+                    worker = _fresh_engine(tmp_path, "worker")
+                    worker.remote = RemoteStore(url=handle.url,
+                                                store=worker.artifacts,
+                                                backoff=0.01)
+                    replayed = _run(worker, "stall_table")
+                server_counters = dict(handle.server.counters)
+
+        # Zero jobs executed: the whole corpus came over the wire.
+        assert worker.executed_jobs == 0
+        _assert_identical(baseline, replayed)
+        remote = worker.stats()["remote"]
+        assert remote["hits"] > 0 and remote["failures"] == 0
+        # The chaos actually bit — damaged transfers were rejected and
+        # re-pulled, and the server injected wire faults.
+        assert remote["rejected"] + remote["resumed"] > 0
+        assert server_counters["net_faults"] > 0
+        assert server_counters["artifact_hits"] > 0
+        # Zero corrupt payloads were ever published on the worker:
+        # every local entry re-hashes and re-derives clean.
+        report = worker.artifacts.verify()
+        assert report["ok"] == report["checked"] > 0
+        assert report["quarantined"] == [] and report["dual_layout"] == []
+
+    def test_hostile_network_never_hangs_an_unserved_sweep(self, tmp_path):
+        """A worker whose remote holds nothing (or keeps failing)
+        degrades to local execution — never a hung or failed sweep."""
+        from repro.remote import RemoteStore
+
+        baseline = _run(_fresh_engine(tmp_path, "clean"), "stall_table")
+        worker = _fresh_engine(tmp_path, "orphan")
+        worker.remote = RemoteStore(url="127.0.0.1:1", store=worker.artifacts,
+                                    retries=0, backoff=0.01, timeout=2.0)
+        replayed = _run(worker, "stall_table")
+        assert worker.executed_jobs > 0  # degraded to execution
+        _assert_identical(baseline, replayed)
+        assert worker.stats()["remote"]["failures"] > 0

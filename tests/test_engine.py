@@ -259,7 +259,8 @@ class TestDiskCache:
         cache = DiskCache("unit", directory=tmp_path)
         assert set(cache.stats()) == {"entries", "size_bytes", "hits",
                                       "misses", "stores", "corrupt_drops",
-                                      "write_failures", "io_errors"}
+                                      "write_failures", "io_errors",
+                                      "dangling_stubs"}
 
     def test_stats_size_bytes_tracks_entries(self, tmp_path):
         cache = DiskCache("unit", directory=tmp_path)

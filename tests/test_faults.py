@@ -144,3 +144,49 @@ class TestServeRequestFaults:
     def test_on_request_delay_action(self):
         injector = FaultInjector(parse_fault_spec("serve_delay=1"))
         assert injector.on_request("token") == "delay"
+
+
+class TestNetTransferFaults:
+    """The hostile-network kinds both ends of artifact distribution
+    consult: the serve daemon with ``net|<id>`` tokens, the remote
+    fetcher with ``recv|<id>`` tokens."""
+
+    def test_net_kinds_registered(self):
+        assert {"net_truncate", "net_corrupt", "net_503",
+                "net_stall"} <= set(FAULT_KINDS)
+
+    def test_on_transfer_fires_only_on_attempt_zero(self):
+        injector = FaultInjector(parse_fault_spec("net_corrupt=1"))
+        assert injector.on_transfer("net|art_x", attempt=1) is None
+        assert injector.on_transfer("net|art_x", attempt=0) == "corrupt"
+
+    def test_on_transfer_none_without_net_rates(self):
+        injector = FaultInjector(parse_fault_spec("serve_reject=1,kill=1"))
+        assert injector.on_transfer("net|art_x") is None
+
+    def test_on_transfer_priority_and_caps(self):
+        injector = FaultInjector(
+            parse_fault_spec("net_truncate=1:1,net_503=1"))
+        assert injector.on_transfer("a") == "truncate"  # outranks 503
+        assert injector.on_transfer("b") == "503"       # cap exhausted
+
+    @pytest.mark.parametrize("kind,action", [
+        ("net_truncate", "truncate"), ("net_corrupt", "corrupt"),
+        ("net_503", "503"), ("net_stall", "stall")])
+    def test_every_net_kind_maps_to_its_action(self, kind, action):
+        injector = FaultInjector(parse_fault_spec(f"{kind}=1"))
+        assert injector.on_transfer("token") == action
+
+    def test_server_and_client_tokens_decide_independently(self):
+        # The same artifact gets distinct damage decisions on each end
+        # of the wire — a plan at rate 0.5 hits some ids server-side,
+        # others client-side, and the decision stays deterministic.
+        injector = FaultInjector(parse_fault_spec("net_corrupt=0.5", seed=9))
+        ids = [f"art_{i:016x}" for i in range(64)]
+        server = [injector.plan.decide("net_corrupt", f"net|{i}")
+                  for i in ids]
+        client = [injector.plan.decide("net_corrupt", f"recv|{i}")
+                  for i in ids]
+        assert server != client
+        assert server == [injector.plan.decide("net_corrupt", f"net|{i}")
+                          for i in ids]

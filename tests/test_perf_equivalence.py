@@ -306,10 +306,16 @@ class TestTimersAndBench:
         assert batched["identical"] is True
         assert batched["executed_warm_jobs"] == 0
         assert batched["executed_cold_jobs"] == batched["jobs"]
+        fleet = report["fleet_replay"]
+        assert fleet["executed_warm_jobs"] == 0
+        assert fleet["executed_cold_jobs"] == fleet["jobs"]
+        assert fleet["identical"] is True
+        assert fleet["chaos"]["quarantined"] == 0
+        assert fleet["drain_exit_code"] == 0
         path = tmp_path / "BENCH_repro.json"
         path.write_text(json.dumps(report))
         round_trip = json.loads(path.read_text())
-        assert round_trip["schema"] == "repro.perf.bench/v7"
+        assert round_trip["schema"] == "repro.perf.bench/v8"
         assert round_trip["schema_version"] == round_trip["schema"]
 
     def test_bench_rejects_unknown_size(self):

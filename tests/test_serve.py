@@ -435,3 +435,178 @@ class TestDaemonLifecycle:
         with temporary_cache_dir(cache):
             assert [r for r in list_runs()
                     if not RunJournal.load(r).complete] == []
+
+
+class TestArtifactEndpoints:
+    """Tentpole (b): the artifact distribution API — payload + manifest
+    with content-hash ETags, Range resume, and delta negotiation —
+    behind the same admission/drain/stats machinery as POST /run."""
+
+    @staticmethod
+    def _get(url, path, headers=None):
+        import http.client
+        from urllib.parse import urlsplit
+
+        parsed = urlsplit(url)
+        conn = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", path, headers=dict(headers or {}))
+            response = conn.getresponse()
+            body = response.read()
+            return response.status, dict(response.getheaders()), body
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _publish(serve_cache, n=1):
+        from repro.artifacts import ArtifactStore
+
+        store = ArtifactStore(directory=serve_cache)
+        return store, [store.put("demo", {"n": i}, {"value": i},
+                                 producer="serve-test") for i in range(n)]
+
+    def test_payload_and_manifest_round_trip(self, serve_cache):
+        store, (art_id,) = self._publish(serve_cache)
+        expected = store.payload_path(art_id).read_bytes()
+        manifest = store.read_manifest(art_id)
+        with _thread_server() as handle:
+            status, headers, body = self._get(handle.url,
+                                              f"/artifacts/{art_id}")
+            assert status == 200
+            assert body == expected
+            assert headers["ETag"] == f'"{manifest["payload_sha256"]}"'
+            assert headers["Accept-Ranges"] == "bytes"
+            assert headers["X-Repro-Artifact-Id"] == art_id
+            status, headers, body = self._get(
+                handle.url, f"/artifacts/{art_id}/manifest")
+            assert status == 200
+            served = json.loads(body)
+            assert served["kind"] == "demo"
+            assert served["payload_sha256"] == manifest["payload_sha256"]
+            stats = ServeClient(handle.url).stats()
+            counters = stats["counters"]
+            assert counters["artifact_requests"] >= 2
+            assert counters["artifact_hits"] >= 2
+            assert counters["artifact_bytes"] == len(expected)
+
+    def test_unknown_and_invalid_ids(self, serve_cache):
+        with _thread_server() as handle:
+            status, _, _ = self._get(handle.url,
+                                     "/artifacts/art_" + "0" * 16)
+            assert status == 404
+            status, _, _ = self._get(handle.url, "/artifacts/not-an-id")
+            assert status == 400
+            status, _, _ = self._get(
+                handle.url, "/artifacts/art_" + "0" * 16 + "/bogus")
+            assert status == 404
+            counters = ServeClient(handle.url).stats()["counters"]
+            assert counters["artifact_misses"] >= 1
+
+    def test_range_resume_and_416(self, serve_cache):
+        store, (art_id,) = self._publish(serve_cache)
+        expected = store.payload_path(art_id).read_bytes()
+        etag = store.read_manifest(art_id)["payload_sha256"]
+        with _thread_server() as handle:
+            offset = len(expected) // 2
+            status, headers, body = self._get(
+                handle.url, f"/artifacts/{art_id}",
+                headers={"Range": f"bytes={offset}-", "If-Range": etag})
+            assert status == 206
+            assert body == expected[offset:]
+            assert headers["Content-Range"] == (
+                f"bytes {offset}-{len(expected) - 1}/{len(expected)}")
+            # A stale If-Range validator falls back to the full body.
+            status, _, body = self._get(
+                handle.url, f"/artifacts/{art_id}",
+                headers={"Range": f"bytes={offset}-",
+                         "If-Range": "stale-validator"})
+            assert status == 200 and body == expected
+            # Past-the-end start: 416 with the total advertised.
+            status, headers, _ = self._get(
+                handle.url, f"/artifacts/{art_id}",
+                headers={"Range": f"bytes={len(expected)}-"})
+            assert status == 416
+            assert headers["Content-Range"] == f"bytes */{len(expected)}"
+
+    def test_index_delta_negotiation(self, serve_cache):
+        _, ids = self._publish(serve_cache, 3)
+        with _thread_server() as handle:
+            status, _, body = self._get(handle.url, "/artifacts/index")
+            assert status == 200
+            listing = json.loads(body)
+            assert sorted(listing["ids"]) == sorted(ids)
+            assert listing["total"] == 3 and listing["matched"] == 0
+            have = ",".join(ids[:2])
+            status, _, body = self._get(handle.url,
+                                        f"/artifacts/index?have={have}")
+            delta = json.loads(body)
+            assert delta["ids"] == [ids[2]]
+            assert delta["matched"] == 2
+
+    def test_corrupt_entry_is_quarantined_not_served(self, serve_cache):
+        store, (art_id,) = self._publish(serve_cache)
+        payload = store.payload_path(art_id)
+        payload.write_bytes(b"\x00" + payload.read_bytes()[1:])
+        with _thread_server() as handle:
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                status, _, _ = self._get(handle.url,
+                                         f"/artifacts/{art_id}")
+            assert status == 404  # never a wrong artifact
+
+    def test_net_faults_damage_the_wire_not_the_store(self, serve_cache):
+        store, (art_id,) = self._publish(serve_cache)
+        expected = store.payload_path(art_id).read_bytes()
+        with inject_faults("net_corrupt=1.0", seed=1):
+            with _thread_server() as handle:
+                status, _, body = self._get(
+                    handle.url, f"/artifacts/{art_id}",
+                    headers={"X-Repro-Attempt": "0"})
+                assert status == 200
+                assert len(body) == len(expected) and body != expected
+                # Retries are never re-damaged: bounded chaos converges.
+                status, _, body = self._get(
+                    handle.url, f"/artifacts/{art_id}",
+                    headers={"X-Repro-Attempt": "1"})
+                assert status == 200 and body == expected
+                counters = ServeClient(handle.url).stats()["counters"]
+                assert counters["net_faults"] == 1
+        assert store.verify()["quarantined"] == []  # store undamaged
+
+    def test_net_truncate_forges_content_length(self, serve_cache):
+        """Truncate declares the full Content-Length but sends half the
+        body — the exact wire shape that makes a naive client hang or
+        mis-publish, and that drives the fetcher's Range resume."""
+        import http.client
+        from urllib.parse import urlsplit
+
+        store, (art_id,) = self._publish(serve_cache)
+        expected = store.payload_path(art_id).read_bytes()
+        with inject_faults("net_truncate=1.0", seed=1):
+            with _thread_server() as handle:
+                parsed = urlsplit(handle.url)
+                conn = http.client.HTTPConnection(parsed.hostname,
+                                                  parsed.port, timeout=30)
+                try:
+                    conn.request("GET", f"/artifacts/{art_id}",
+                                 headers={"X-Repro-Attempt": "0"})
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    declared = int(response.getheader("Content-Length"))
+                    assert declared == len(expected)
+                    with pytest.raises(http.client.IncompleteRead) as info:
+                        response.read()
+                    partial = info.value.partial or b""
+                    assert partial == expected[:len(expected) // 2]
+                finally:
+                    conn.close()
+
+    def test_net_503_sets_retry_after(self, serve_cache):
+        _, (art_id,) = self._publish(serve_cache)
+        with inject_faults("net_503=1.0", seed=1):
+            with _thread_server() as handle:
+                status, headers, _ = self._get(
+                    handle.url, f"/artifacts/{art_id}",
+                    headers={"X-Repro-Attempt": "0"})
+                assert status == 503
+                assert headers["Retry-After"] == "1"
